@@ -1,0 +1,172 @@
+(* Benchmark harness: regenerates every table of the reproduction
+   (experiments E1-E13, one printed table per paper claim) and then
+   times the protocol substrates with Bechamel (E9).
+
+   Usage:
+     dune exec bench/main.exe            -- everything (default budget)
+     dune exec bench/main.exe -- quick   -- reduced sample budget
+     dune exec bench/main.exe -- e5      -- a single experiment
+     dune exec bench/main.exe -- timing  -- only the Bechamel section
+     dune exec bench/main.exe -- --csv=out/  -- also dump each table as CSV *)
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+(* --- E1..E12 tables ------------------------------------------------ *)
+
+let experiment_of_id setup id =
+  match String.lowercase_ascii id with
+  | "e1" -> Some (Core.Experiments.e1_distribution_classes ~n:setup.Core.Setup.n ())
+  | "e2" -> Some (Core.Experiments.e2_cr_unachievable setup)
+  | "e3" -> Some (Core.Experiments.e3_g_unachievable setup)
+  | "e4" -> Some (Core.Experiments.e4_feasibility setup)
+  | "e5" -> Some (Core.Experiments.e5_pi_g_separation setup)
+  | "e6" -> Some (Core.Experiments.e6_singleton_trivial setup)
+  | "e7" -> Some (Core.Experiments.e7_implications setup)
+  | "e8" -> Some (Core.Experiments.e8_complexity ())
+  | "e10" -> Some (Core.Experiments.e10_gss_agreement setup)
+  | "e11" -> Some (Core.Experiments.e11_echo_attack setup)
+  | "e12" -> Some (Core.Experiments.e12_reveal_ablation setup)
+  | "e13" -> Some (Core.Experiments.e13_simulation setup)
+  | "e14" -> Some (Core.Experiments.e14_figure1 setup)
+  | _ -> None
+
+let csv_dir = ref None
+
+let write_csv (o : Core.Experiments.outcome) =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir (String.lowercase_ascii o.Core.Experiments.id ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (Sb_util.Tabular.to_csv o.Core.Experiments.table);
+      close_out oc;
+      say "wrote %s" path
+
+let print_outcome (o : Core.Experiments.outcome) =
+  Sb_util.Tabular.print o.Core.Experiments.table;
+  write_csv o;
+  List.iter (fun n -> say "note: %s" n) o.Core.Experiments.notes;
+  say "%s: paper-shape check %s (%d rows)@." o.Core.Experiments.id
+    (if o.Core.Experiments.ok then "OK" else "MISMATCH")
+    o.Core.Experiments.rows_checked
+
+let run_experiments setup ids =
+  let all_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e10"; "e11"; "e12"; "e13"; "e14" ] in
+  let ids = if ids = [] then all_ids else ids in
+  let outcomes =
+    List.filter_map
+      (fun id ->
+        match experiment_of_id setup id with
+        | Some o -> Some o
+        | None ->
+            say "unknown experiment id: %s" id;
+            None)
+      ids
+  in
+  List.iter print_outcome outcomes;
+  let bad =
+    List.filter (fun (o : Core.Experiments.outcome) -> not o.Core.Experiments.ok) outcomes
+  in
+  say "== summary: %d/%d experiments match the paper's predictions =="
+    (List.length outcomes - List.length bad)
+    (List.length outcomes);
+  List.iter (fun (o : Core.Experiments.outcome) -> say "  MISMATCH: %s" o.Core.Experiments.id) bad
+
+(* --- E9: Bechamel timing ------------------------------------------- *)
+
+open Bechamel
+
+let protocol_bench name (protocol : Sb_sim.Protocol.t) ~n ~thresh =
+  Test.make
+    ~name:(Printf.sprintf "%s/n=%d" name n)
+    (Staged.stage (fun () ->
+         let rng = Sb_util.Rng.create 42 in
+         let ctx = Sb_sim.Ctx.make ~rng ~n ~thresh ~k:16 () in
+         let inputs = Array.init n (fun i -> Sb_sim.Msg.Bit (i mod 2 = 0)) in
+         ignore (Sb_sim.Network.honest_run ctx ~rng ~protocol ~inputs)))
+
+let crypto_benches =
+  [
+    Test.make ~name:"sha256/1KiB"
+      (Staged.stage
+         (let buf = String.make 1024 'x' in
+          fun () -> ignore (Sb_crypto.Sha256.digest buf)));
+    Test.make ~name:"pedersen-deal/n=8,t=3"
+      (Staged.stage (fun () ->
+           let rng = Sb_util.Rng.create 7 in
+           ignore
+             (Sb_crypto.Pedersen.deal rng ~threshold:3 ~parties:8 ~secret:Sb_crypto.Field.one)));
+    Test.make ~name:"shamir-reconstruct/t=3"
+      (Staged.stage
+         (let rng = Sb_util.Rng.create 9 in
+          let shares, _ =
+            Sb_crypto.Shamir.share rng ~threshold:3 ~parties:8
+              ~secret:(Sb_crypto.Field.of_int 5)
+          in
+          let subset = Array.to_list (Array.sub shares 0 4) in
+          fun () -> ignore (Sb_crypto.Shamir.reconstruct subset)));
+  ]
+
+let timing_tests =
+  let per_protocol =
+    List.concat_map
+      (fun (name, p) ->
+        List.map (fun n -> protocol_bench name p ~n ~thresh:((n - 1) / 2)) [ 5; 8; 16 ])
+      [
+        ("ideal-fsb", Sb_protocols.Ideal_sb.protocol);
+        ("naive-sequential", Sb_protocols.Naive.sequential);
+        ("gennaro-constant", Sb_protocols.Gennaro.protocol);
+        ("chor-rabin-log", Sb_protocols.Chor_rabin.protocol);
+        ("cgma-vss", Sb_protocols.Cgma.protocol);
+      ]
+  in
+  Test.make_grouped ~name:"E9" (crypto_benches @ per_protocol)
+
+let run_timing () =
+  say "== E9: wall-clock timing (Bechamel; ns per execution) ==";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw_results = Benchmark.all cfg instances timing_tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  let results = Analyze.merge ols instances results in
+  let table =
+    Sb_util.Tabular.create ~title:"E9 timings" ~columns:[ "benchmark"; "ns/run"; "r^2" ]
+  in
+  Hashtbl.iter
+    (fun _instance tbl ->
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+      List.iter
+        (fun (name, ols) ->
+          let ns = match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan in
+          let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
+          Sb_util.Tabular.add_row table
+            [ name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.4f" r2 ])
+        rows)
+    results;
+  Sb_util.Tabular.print table
+
+(* --- entry --------------------------------------------------------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let setup =
+    if quick then Core.Setup.with_samples 2000 Core.Setup.default else Core.Setup.default
+  in
+  (match List.find_opt (fun a -> String.length a > 6 && String.sub a 0 6 = "--csv=") args with
+  | Some a -> csv_dir := Some (String.sub a 6 (String.length a - 6))
+  | None -> ());
+  let ids =
+    List.filter
+      (fun a ->
+        a <> "quick" && a <> "timing" && a <> "tables"
+        && not (String.length a > 6 && String.sub a 0 6 = "--csv="))
+      args
+  in
+  let timing_only = List.mem "timing" args in
+  let tables_only = List.mem "tables" args in
+  if not timing_only then run_experiments setup ids;
+  if (not tables_only) && (ids = [] || timing_only) then run_timing ()

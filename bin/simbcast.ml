@@ -1,0 +1,387 @@
+(* simbcast — command-line front end to the simultaneous-broadcast
+   reproduction.
+
+     simbcast list                         catalogue of protocols/dists/adversaries
+     simbcast run -p gennaro-constant -x 10110
+     simbcast classify -d xor-parity -n 5
+     simbcast test -t cr -p naive-sequential -a echo -d uniform
+     simbcast experiment e5 *)
+
+open Cmdliner
+
+(* --- shared argument parsing -------------------------------------- *)
+
+let dist_names = [ "uniform"; "xor-parity"; "copy-pair"; "biased"; "almost-uniform"; "rare-leak" ]
+
+let dist_of_name name n =
+  match name with
+  | "uniform" -> Ok (Sb_dist.Dist.uniform n)
+  | "xor-parity" -> Ok (Sb_dist.Dist.xor_parity ~even:true n)
+  | "copy-pair" -> Ok (Sb_dist.Dist.copy_pair n)
+  | "biased" -> Ok (Sb_dist.Dist.product 0.25 n)
+  | "almost-uniform" ->
+      Ok ((Sb_dist.Family.almost_uniform n).Sb_dist.Family.ensemble.Sb_dist.Ensemble.at 8)
+  | "rare-leak" ->
+      Ok ((Sb_dist.Family.rare_leak n).Sb_dist.Family.ensemble.Sb_dist.Ensemble.at 8)
+  | other -> Error (Printf.sprintf "unknown distribution %S (try: %s)" other
+                      (String.concat ", " dist_names))
+
+let adversary_names = [ "passive"; "semi-honest"; "echo"; "a-star"; "withhold"; "silent" ]
+
+let adversary_of_name name (protocol : Sb_sim.Protocol.t) n =
+  match name with
+  | "passive" -> Ok Core.Adversaries.passive
+  | "semi-honest" -> Ok (Core.Adversaries.semi_honest protocol ~corrupt:[ n - 2; n - 1 ])
+  | "echo" ->
+      let mode =
+        if String.equal protocol.Sb_sim.Protocol.name "naive-concurrent" then `Concurrent
+        else `Sequential
+      in
+      Ok (Core.Adversaries.echo ~mode ~copier:(n - 1) ~target:0 ())
+  | "a-star" -> Ok (Core.Adversaries.a_star ~corrupt:(n - 2, n - 1))
+  | "silent" -> Ok (Core.Adversaries.silent ~corrupt:[ n - 1 ])
+  | "withhold" ->
+      let reveal_round, prefix, probe =
+        if String.equal protocol.Sb_sim.Protocol.name "commit-open" then
+          ((fun _ -> 1), "co-open", Core.Adversaries.probe_commit_open_parity)
+        else
+          ( (fun (ctx : Sb_sim.Ctx.t) ->
+              if String.equal protocol.Sb_sim.Protocol.name "cgma-vss" then
+                Sb_protocols.Cgma.reveal_round ~n:ctx.Sb_sim.Ctx.n
+              else if String.equal protocol.Sb_sim.Protocol.name "chor-rabin-log" then
+                Sb_protocols.Chor_rabin.reveal_round ~n:ctx.Sb_sim.Ctx.n
+              else Sb_protocols.Gennaro.reveal_round),
+            "vss:",
+            Core.Adversaries.probe_vss_secret ~dealer:0 )
+      in
+      Ok
+        (Core.Adversaries.reveal_withhold protocol ~corrupt:[ n - 1 ] ~reveal_round
+           ~reveal_tag_prefix:prefix ~honest_probe:probe)
+  | other ->
+      Error (Printf.sprintf "unknown adversary %S (try: %s)" other
+               (String.concat ", " adversary_names))
+
+let protocol_of_name name =
+  match Sb_protocols.Registry.find name with
+  | Some e -> Ok e.Sb_protocols.Registry.protocol
+  | None ->
+      if String.equal name "commit-open" then Ok Sb_protocols.Commit_open.protocol
+      else
+        Error (Printf.sprintf "unknown protocol %S (try: %s)" name
+                 (String.concat ", " ("commit-open" :: Sb_protocols.Registry.names)))
+
+let n_arg =
+  let doc = "Number of parties." in
+  Arg.(value & opt int 5 & info [ "n"; "parties" ] ~doc)
+
+let thresh_arg =
+  let doc = "Corruption bound t (default (n-1)/2)." in
+  Arg.(value & opt (some int) None & info [ "t"; "thresh" ] ~doc)
+
+let seed_arg =
+  let doc = "Master seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let samples_arg =
+  let doc = "Monte-Carlo sample budget." in
+  Arg.(value & opt int 6000 & info [ "samples" ] ~doc)
+
+let protocol_arg =
+  let doc = "Protocol name (see `simbcast list`)." in
+  Arg.(value & opt string "gennaro-constant" & info [ "p"; "protocol" ] ~doc)
+
+let dist_arg =
+  let doc = "Input distribution name." in
+  Arg.(value & opt string "uniform" & info [ "d"; "dist" ] ~doc)
+
+let adversary_arg =
+  let doc = "Adversary name." in
+  Arg.(value & opt string "passive" & info [ "a"; "adversary" ] ~doc)
+
+let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
+
+let resolve_thresh n = function Some t -> t | None -> (n - 1) / 2
+
+(* --- list ---------------------------------------------------------- *)
+
+let claim_cell b = if b then "claims independence" else "parallel only"
+
+let list_cmd =
+  let run () =
+    let table =
+      Sb_util.Tabular.create ~title:"protocols" ~columns:[ "name"; "independence"; "resilience" ]
+    in
+    List.iter
+      (fun (e : Sb_protocols.Registry.entry) ->
+        Sb_util.Tabular.add_row table
+          [
+            e.Sb_protocols.Registry.protocol.Sb_sim.Protocol.name;
+            claim_cell e.Sb_protocols.Registry.claims_independence;
+            e.Sb_protocols.Registry.min_honest_fraction;
+          ])
+      Sb_protocols.Registry.all;
+    Sb_util.Tabular.add_row table [ "commit-open"; "none (ablation target)"; "t < n/2" ];
+    Sb_util.Tabular.print table;
+    Printf.printf "distributions: %s\n" (String.concat ", " dist_names);
+    Printf.printf "adversaries  : %s\n" (String.concat ", " adversary_names);
+    Printf.printf "experiments  : e1..e8, e10..e14  (see bench/main.exe; e9 = its timing section)\n"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List protocols, distributions and adversaries")
+    Term.(const run $ const ())
+
+(* --- run ------------------------------------------------------------ *)
+
+let verbose_arg =
+  let doc = "Log network round events to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logging verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.Src.set_level Sb_sim.Network.log_src (Some Logs.Debug)
+  end
+
+let run_cmd =
+  let inputs_arg =
+    let doc = "Input bit vector, e.g. 10110 (defaults to uniform random)." in
+    Arg.(value & opt (some string) None & info [ "x"; "inputs" ] ~doc)
+  in
+  let run pname n thresh seed inputs adversary_name verbose =
+    setup_logging verbose;
+    match protocol_of_name pname with
+    | Error e -> fail "%s" e
+    | Ok protocol -> (
+        match adversary_of_name adversary_name protocol n with
+        | Error e -> fail "%s" e
+        | Ok adversary ->
+            let thresh = resolve_thresh n thresh in
+            let rng = Sb_util.Rng.create seed in
+            let x =
+              match inputs with
+              | Some s ->
+                  if String.length s <> n then failwith "input length must equal n"
+                  else Sb_util.Bitvec.of_string s
+              | None -> Sb_util.Bitvec.random rng n
+            in
+            let setup = Core.Setup.{ default with n; thresh; seed } in
+            let r = Core.Announced.run_once setup ~protocol ~adversary ~x rng in
+            Printf.printf "protocol   : %s\n" protocol.Sb_sim.Protocol.name;
+            Printf.printf "adversary  : %s (corrupted %s)\n" adversary.Sb_sim.Adversary.name
+              (String.concat "," (List.map string_of_int r.Core.Announced.corrupted));
+            Printf.printf "inputs     : %s\n" (Sb_util.Bitvec.to_string r.Core.Announced.x);
+            Printf.printf "announced  : %s\n" (Sb_util.Bitvec.to_string r.Core.Announced.w);
+            Printf.printf "consistent : %b\n" r.Core.Announced.consistent;
+            `Ok ())
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one protocol execution and print the announced vector")
+    Term.(
+      ret
+        (const run $ protocol_arg $ n_arg $ thresh_arg $ seed_arg $ inputs_arg $ adversary_arg
+       $ verbose_arg))
+
+(* --- classify ------------------------------------------------------- *)
+
+let classify_cmd =
+  let run dname n =
+    let entries = Sb_dist.Family.battery n in
+    let matching =
+      List.filter
+        (fun (e : Sb_dist.Family.entry) ->
+          dname = "all"
+          || String.length e.Sb_dist.Family.ensemble.Sb_dist.Ensemble.name >= String.length dname
+             && String.sub e.Sb_dist.Family.ensemble.Sb_dist.Ensemble.name 0 (String.length dname)
+                = dname)
+        entries
+    in
+    if matching = [] then fail "no battery distribution matches %S" dname
+    else begin
+      List.iter
+        (fun (e : Sb_dist.Family.entry) ->
+          let v = Sb_dist.Classes.classify e.Sb_dist.Family.ensemble in
+          Format.printf "%-34s %a@." e.Sb_dist.Family.ensemble.Sb_dist.Ensemble.name
+            Sb_dist.Classes.pp v;
+          Format.printf "  note: %s@." e.Sb_dist.Family.note)
+        matching;
+      `Ok ()
+    end
+  in
+  let dist_prefix =
+    let doc = "Distribution name prefix from the battery, or 'all'." in
+    Arg.(value & opt string "all" & info [ "d"; "dist" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify input distributions into the paper's classes")
+    Term.(ret (const run $ dist_prefix $ n_arg))
+
+(* --- test ----------------------------------------------------------- *)
+
+let test_cmd =
+  let tester_arg =
+    let doc = "Which definition to test: cr, g, gss, or sb." in
+    Arg.(value & opt string "cr" & info [ "t"; "tester" ] ~doc)
+  in
+  let run tester pname aname dname n samples seed =
+    match protocol_of_name pname with
+    | Error e -> fail "%s" e
+    | Ok protocol -> (
+        match (adversary_of_name aname protocol n, dist_of_name dname n) with
+        | Error e, _ | _, Error e -> fail "%s" e
+        | Ok adversary, Ok dist -> (
+            let setup = Core.Setup.{ default with n; thresh = (n - 1) / 2; samples; seed } in
+            match tester with
+            | "cr" ->
+                let r = Core.Cr_test.run setup ~protocol ~adversary ~dist () in
+                Printf.printf "CR verdict: %s\n" (Sb_stats.Verdict.to_string r.Core.Cr_test.verdict);
+                (match r.Core.Cr_test.worst with
+                | Some w ->
+                    Format.printf "worst: honest P%d, predicate %s, gap %a@."
+                      w.Core.Cr_test.honest_party w.Core.Cr_test.predicate Sb_stats.Estimate.pp
+                      w.Core.Cr_test.gap
+                | None -> ());
+                `Ok ()
+            | "g" ->
+                let r = Core.G_test.run setup ~protocol ~adversary ~dist () in
+                Printf.printf "G verdict: %s (buckets %d used, %d skipped)\n"
+                  (Sb_stats.Verdict.to_string r.Core.G_test.verdict) r.Core.G_test.buckets_used
+                  r.Core.G_test.buckets_skipped;
+                (match r.Core.G_test.worst with
+                | Some w ->
+                    Format.printf "worst bucket %s for P%d: gap %a@."
+                      (Sb_util.Bitvec.to_string w.Core.G_test.bucket) w.Core.G_test.corrupted_party
+                      Sb_stats.Estimate.pp w.Core.G_test.gap
+                | None -> ());
+                `Ok ()
+            | "gss" ->
+                let r = Core.Gss_test.run setup ~protocol ~adversary () in
+                Printf.printf "G** verdict: %s\n" (Sb_stats.Verdict.to_string r.Core.Gss_test.verdict);
+                (match r.Core.Gss_test.worst with
+                | Some w ->
+                    Format.printf "worst pair x=%s vs x=%s for P%d: gap %a@."
+                      (Sb_util.Bitvec.to_string w.Core.Gss_test.r)
+                      (Sb_util.Bitvec.to_string w.Core.Gss_test.s)
+                      w.Core.Gss_test.corrupted_party Sb_stats.Estimate.pp w.Core.Gss_test.gap
+                | None -> ());
+                `Ok ()
+            | "sb" ->
+                let r =
+                  Core.Sb_test.run setup ~protocol ~adversary ~dist
+                    ~simulator:Core.Sb_test.truthful ()
+                in
+                Printf.printf "Sb verdict: %s\n" (Sb_stats.Verdict.to_string r.Core.Sb_test.verdict);
+                List.iter
+                  (fun (f : Core.Sb_test.falsifier_result) ->
+                    if f.Core.Sb_test.verdict = Sb_stats.Verdict.Fail then
+                      Format.printf "falsified by %s: real %a, ideal band [%.3f, %.3f]@."
+                        f.Core.Sb_test.falsifier Sb_stats.Estimate.pp f.Core.Sb_test.real_p
+                        f.Core.Sb_test.ideal_min f.Core.Sb_test.ideal_max)
+                  r.Core.Sb_test.falsifiers;
+                (match (r.Core.Sb_test.sim_tvd, r.Core.Sb_test.baseline_tvd) with
+                | Some t, Some b ->
+                    Printf.printf "joint TVD vs truthful simulator: %.4f (baseline %.4f)\n" t b
+                | _ -> ());
+                `Ok ()
+            | other -> fail "unknown tester %S (cr, g, gss, sb)" other))
+  in
+  Cmd.v
+    (Cmd.info "test" ~doc:"Run an independence tester on (protocol, adversary, distribution)")
+    Term.(
+      ret
+        (const run $ tester_arg $ protocol_arg $ adversary_arg $ dist_arg $ n_arg $ samples_arg
+       $ seed_arg))
+
+(* --- exact ----------------------------------------------------------- *)
+
+let exact_cmd =
+  let scenario_arg =
+    let doc = "Closed-form scenario: identity, echo, or pi-g." in
+    Arg.(value & opt string "pi-g" & info [ "s"; "scenario" ] ~doc)
+  in
+  let run scenario dname n =
+    match dist_of_name dname n with
+    | Error e -> fail "%s" e
+    | Ok dist -> (
+        let show name w_dist ~honest ~corrupted =
+          Format.printf "scenario      : %s over %s (n = %d)@." name dname n;
+          Format.printf "exact CR gap  : %.6f (battery of %d predicates)@."
+            (Core.Exact.cr_gap_battery w_dist ~honest)
+            (List.length (Core.Predicate.battery ~n));
+          Format.printf "exact G gap   : %.6f@." (Core.Exact.g_gap w_dist ~corrupted)
+        in
+        match scenario with
+        | "identity" ->
+            show "announced = inputs" dist ~honest:(List.init n Fun.id) ~corrupted:[];
+            `Ok ()
+        | "echo" ->
+            let w =
+              Core.Exact.push_deterministic dist (Core.Exact.echo_map ~copier:(n - 1) ~target:0)
+            in
+            show "echo (copier = last, target = 0)" w
+              ~honest:(List.init (n - 1) Fun.id)
+              ~corrupted:[ n - 1 ];
+            `Ok ()
+        | "pi-g" ->
+            let w =
+              Core.Exact.push_coin dist (Core.Exact.pi_g_astar_map ~l1:(n - 2) ~l2:(n - 1))
+            in
+            show "Pi_G under A* (last two corrupted)" w
+              ~honest:(List.init (n - 2) Fun.id)
+              ~corrupted:[ n - 2; n - 1 ];
+            `Ok ()
+        | other -> fail "unknown scenario %S (identity, echo, pi-g)" other)
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:"Compute CR/G independence gaps in closed form for analytically known scenarios")
+    Term.(ret (const run $ scenario_arg $ dist_arg $ n_arg))
+
+(* --- experiment ------------------------------------------------------ *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id (e1..e12)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let quick_arg =
+    let doc = "Reduced sample budget." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let run id quick =
+    let setup =
+      if quick then Core.Setup.with_samples 2000 Core.Setup.default else Core.Setup.default
+    in
+    let outcome =
+      match String.lowercase_ascii id with
+      | "e1" -> Some (Core.Experiments.e1_distribution_classes ~n:setup.Core.Setup.n ())
+      | "e2" -> Some (Core.Experiments.e2_cr_unachievable setup)
+      | "e3" -> Some (Core.Experiments.e3_g_unachievable setup)
+      | "e4" -> Some (Core.Experiments.e4_feasibility setup)
+      | "e5" -> Some (Core.Experiments.e5_pi_g_separation setup)
+      | "e6" -> Some (Core.Experiments.e6_singleton_trivial setup)
+      | "e7" -> Some (Core.Experiments.e7_implications setup)
+      | "e8" -> Some (Core.Experiments.e8_complexity ())
+      | "e10" -> Some (Core.Experiments.e10_gss_agreement setup)
+      | "e11" -> Some (Core.Experiments.e11_echo_attack setup)
+      | "e12" -> Some (Core.Experiments.e12_reveal_ablation setup)
+  | "e13" -> Some (Core.Experiments.e13_simulation setup)
+  | "e14" -> Some (Core.Experiments.e14_figure1 setup)
+      | _ -> None
+    in
+    match outcome with
+    | None -> fail "unknown experiment %S" id
+    | Some o ->
+        Sb_util.Tabular.print o.Core.Experiments.table;
+        List.iter (Printf.printf "note: %s\n") o.Core.Experiments.notes;
+        Printf.printf "%s: paper-shape check %s\n" o.Core.Experiments.id
+          (if o.Core.Experiments.ok then "OK" else "MISMATCH");
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E12)")
+    Term.(ret (const run $ id_arg $ quick_arg))
+
+let () =
+  let info =
+    Cmd.info "simbcast" ~version:"1.0.0"
+      ~doc:"Simultaneous broadcast protocols and independence definitions (PODC 2005 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; classify_cmd; test_cmd; exact_cmd; experiment_cmd ]))

@@ -1,0 +1,44 @@
+open Sb_util
+open Sb_sim
+
+type run = {
+  x : Bitvec.t;
+  w : Bitvec.t;
+  corrupted : int list;
+  consistent : bool;
+  adv_output : Msg.t;
+}
+
+let to_vector n m =
+  match m with
+  | Msg.List l when List.length l = n ->
+      Some (Bitvec.init n (fun i ->
+                match List.nth l i with Msg.Bit b -> b | _ -> false))
+  | _ -> None
+
+let run_once setup ~protocol ~adversary ~x ?(aux = Msg.Unit) rng =
+  let ctx = Setup.fresh_ctx setup (Rng.split rng) in
+  let inputs = Array.init setup.Setup.n (fun i -> Msg.Bit (Bitvec.get x i)) in
+  let r = Network.run ctx ~rng ~protocol ~adversary ~inputs ~aux () in
+  let vectors =
+    List.map (fun (_, m) -> to_vector setup.Setup.n m) r.Network.outputs
+  in
+  let w, consistent =
+    match vectors with
+    | [] -> (Bitvec.zero setup.Setup.n, false)
+    | Some first :: rest ->
+        (first, List.for_all (function Some v -> Bitvec.equal v first | None -> false) rest)
+    | None :: _ -> (Bitvec.zero setup.Setup.n, false)
+  in
+  { x; w; corrupted = r.Network.corrupted; consistent; adv_output = r.Network.adv_output }
+
+let sample setup ~protocol ~adversary ~dist ?(aux = Msg.Unit) rng f =
+  for _ = 1 to setup.Setup.samples do
+    let x = Sb_dist.Dist.sample dist (Rng.split rng) in
+    f (run_once setup ~protocol ~adversary ~x ~aux (Rng.split rng))
+  done
+
+let corrupted_of setup ~protocol ~adversary =
+  let rng = Rng.create setup.Setup.seed in
+  let r = run_once setup ~protocol ~adversary ~x:(Bitvec.zero setup.Setup.n) rng in
+  r.corrupted

@@ -1,0 +1,42 @@
+(** The announced-values vector of Definition 3.1, executable.
+
+    [AnnouncedΠ_A(x)] is the vector W read off any honest party's
+    output after running protocol Π against adversary A on input x.
+    This module runs the simulated network and extracts W, checking
+    on the way that the parallel-broadcast consistency property
+    actually held (all honest outputs equal) — a run violating it is
+    reported rather than silently used. *)
+
+type run = {
+  x : Sb_util.Bitvec.t;  (** the input vector of this execution *)
+  w : Sb_util.Bitvec.t;  (** the announced vector *)
+  corrupted : int list;
+  consistent : bool;  (** all honest output vectors were equal *)
+  adv_output : Sb_sim.Msg.t;
+}
+
+val run_once :
+  Setup.t ->
+  protocol:Sb_sim.Protocol.t ->
+  adversary:Sb_sim.Adversary.t ->
+  x:Sb_util.Bitvec.t ->
+  ?aux:Sb_sim.Msg.t ->
+  Sb_util.Rng.t ->
+  run
+
+val sample :
+  Setup.t ->
+  protocol:Sb_sim.Protocol.t ->
+  adversary:Sb_sim.Adversary.t ->
+  dist:Sb_dist.Dist.t ->
+  ?aux:Sb_sim.Msg.t ->
+  Sb_util.Rng.t ->
+  (run -> unit) ->
+  unit
+(** Draw [setup.samples] inputs from [dist], run the protocol on each,
+    and feed every run to the callback. *)
+
+val corrupted_of :
+  Setup.t -> protocol:Sb_sim.Protocol.t -> adversary:Sb_sim.Adversary.t -> int list
+(** The (static) corrupted set the adversary picks, discovered with a
+    dry run. *)

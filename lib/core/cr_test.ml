@@ -1,0 +1,74 @@
+open Sb_util
+
+type finding = {
+  honest_party : int;
+  predicate : string;
+  gap : Sb_stats.Estimate.interval;
+  verdict : Sb_stats.Verdict.t;
+}
+
+type result = {
+  findings : finding list;
+  worst : finding option;
+  verdict : Sb_stats.Verdict.t;
+  inconsistent_runs : int;
+}
+
+let drop_index arr i =
+  Array.of_list
+    (List.filteri (fun j _ -> j <> i) (Array.to_list arr))
+
+let run setup ~protocol ~adversary ~dist ?predicates () =
+  let n = setup.Setup.n in
+  let predicates = match predicates with Some p -> p | None -> Predicate.battery ~n in
+  let corrupted = Announced.corrupted_of setup ~protocol ~adversary in
+  let honest = Subset.complement n corrupted in
+  (* One event-pair counter per (honest i, predicate). *)
+  let counters =
+    List.map
+      (fun i -> (i, List.map (fun p -> (p, Sb_stats.Counts.event_pair ())) predicates))
+      honest
+  in
+  let inconsistent = ref 0 in
+  let rng = Rng.create setup.Setup.seed in
+  Announced.sample setup ~protocol ~adversary ~dist rng (fun run ->
+      if not run.Announced.consistent then incr inconsistent;
+      let w = Bitvec.to_bools run.Announced.w in
+      List.iter
+        (fun (i, per_pred) ->
+          let wi_zero = not w.(i) in
+          let reduced = drop_index w i in
+          List.iter
+            (fun ((p : Predicate.t), counter) ->
+              Sb_stats.Counts.record counter ~a:wi_zero ~b:(p.Predicate.eval reduced))
+            per_pred)
+        counters);
+  let findings =
+    List.concat_map
+      (fun (i, per_pred) ->
+        List.map
+          (fun ((p : Predicate.t), counter) ->
+            let gap = Sb_stats.Counts.gap counter in
+            {
+              honest_party = i;
+              predicate = p.Predicate.name;
+              gap;
+              verdict = Sb_stats.Verdict.of_gap gap;
+            })
+          per_pred)
+      counters
+  in
+  let worst =
+    List.fold_left
+      (fun acc f ->
+        match acc with
+        | Some best when best.gap.Sb_stats.Estimate.point >= f.gap.Sb_stats.Estimate.point -> acc
+        | _ -> Some f)
+      None findings
+  in
+  {
+    findings;
+    worst;
+    verdict = Sb_stats.Verdict.all_pass (List.map (fun (f : finding) -> f.verdict) findings);
+    inconsistent_runs = !inconsistent;
+  }

@@ -1,0 +1,817 @@
+open Sb_util
+
+type outcome = {
+  id : string;
+  title : string;
+  table : Tabular.t;
+  ok : bool;
+  rows_checked : int;
+  notes : string list;
+}
+
+let vstr = Sb_stats.Verdict.to_string
+
+let cell_interval (i : Sb_stats.Estimate.interval) =
+  Printf.sprintf "%.3f [%.3f,%.3f]" i.Sb_stats.Estimate.point i.Sb_stats.Estimate.lo
+    i.Sb_stats.Estimate.hi
+
+let expect_verdict v expected = Sb_stats.Verdict.equal v expected
+
+(* Scaled-up sample budget for the bucketed G tester (DESIGN.md:
+   conditional estimates need more mass per bucket). *)
+let g_setup setup = Setup.with_samples (4 * setup.Setup.samples) setup
+
+(* --- E1: distribution classes (Claim 5.6) ------------------------- *)
+
+let e1_distribution_classes ?(n = 5) () =
+  let table =
+    Tabular.create ~title:"E1 (Claim 5.6): input distribution classes"
+      ~columns:
+        [ "distribution"; "independent"; "in psi_L"; "in psi_C"; "psi_L gap@k16"; "psi_C gap@k16"; "expected"; "match" ]
+  in
+  let entries = Sb_dist.Family.battery n in
+  let checks =
+    List.map
+      (fun (e : Sb_dist.Family.entry) ->
+        let v = Sb_dist.Classes.classify e.Sb_dist.Family.ensemble in
+        let m = e.Sb_dist.Family.expected in
+        let matches =
+          v.Sb_dist.Classes.independent = m.Sb_dist.Family.independent
+          && v.Sb_dist.Classes.psi_l = m.Sb_dist.Family.psi_l
+          && v.Sb_dist.Classes.psi_c = m.Sb_dist.Family.psi_c
+          && Sb_dist.Classes.check_hierarchy v
+        in
+        Tabular.add_row table
+          [
+            e.Sb_dist.Family.ensemble.Sb_dist.Ensemble.name;
+            Tabular.cell_bool v.Sb_dist.Classes.independent;
+            Tabular.cell_bool v.Sb_dist.Classes.psi_l;
+            Tabular.cell_bool v.Sb_dist.Classes.psi_c;
+            Tabular.cell_float (List.assoc 16 v.Sb_dist.Classes.local_gaps);
+            Tabular.cell_float (List.assoc 16 v.Sb_dist.Classes.indep_gaps);
+            Format.asprintf "%a" Sb_dist.Family.pp_membership m;
+            Tabular.cell_bool matches;
+          ];
+        matches)
+      entries
+  in
+  {
+    id = "E1";
+    title = "Distribution class hierarchy (Claim 5.6)";
+    table;
+    ok = List.for_all Fun.id checks;
+    rows_checked = List.length checks;
+    notes =
+      [
+        "Strictness witnesses: bernoulli(0.25)^n and almost-uniform separate \
+         psi_L from {uniform, singletons}; rare-leak separates psi_C from psi_L; \
+         xor-parity and copy-pair lie outside psi_C (but inside D(Sb) = All).";
+      ];
+  }
+
+(* --- E2: CR unachievable outside psi_C (Lemma 5.2) ----------------- *)
+
+let correlated_dists n =
+  [
+    ("xor-parity", Sb_dist.Dist.xor_parity ~even:true n);
+    ("copy-pair", Sb_dist.Dist.copy_pair n);
+  ]
+
+let e2_cr_unachievable setup =
+  let table =
+    Tabular.create ~title:"E2 (Lemma 5.2): CR fails for EVERY protocol when D is not in psi_C"
+      ~columns:[ "protocol"; "distribution"; "CR verdict"; "worst (party, predicate)"; "gap" ]
+  in
+  let protocols =
+    [
+      Sb_protocols.Ideal_sb.protocol;
+      Sb_protocols.Cgma.protocol;
+      Sb_protocols.Chor_rabin.protocol;
+      Sb_protocols.Gennaro.protocol;
+      Sb_protocols.Naive.sequential;
+    ]
+  in
+  let checks =
+    List.concat_map
+      (fun (p : Sb_sim.Protocol.t) ->
+        List.map
+          (fun (dname, dist) ->
+            let r = Cr_test.run setup ~protocol:p ~adversary:Adversaries.passive ~dist () in
+            let worst, gap =
+              match r.Cr_test.worst with
+              | Some w ->
+                  ( Printf.sprintf "(P%d, %s)" w.Cr_test.honest_party w.Cr_test.predicate,
+                    cell_interval w.Cr_test.gap )
+              | None -> ("-", "-")
+            in
+            Tabular.add_row table
+              [ p.Sb_sim.Protocol.name; dname; vstr r.Cr_test.verdict; worst; gap ];
+            expect_verdict r.Cr_test.verdict Sb_stats.Verdict.Fail)
+          (correlated_dists setup.Setup.n))
+      protocols
+  in
+  {
+    id = "E2";
+    title = "CR unachievable outside psi_C (Lemma 5.2)";
+    table;
+    ok = List.for_all Fun.id checks;
+    rows_checked = List.length checks;
+    notes =
+      [
+        "No corruption is even needed: correct announced values inherit the \
+         input correlation, which the CR predicates detect directly.";
+      ];
+  }
+
+(* --- E3: G unachievable outside psi_L (Lemma 5.4) ------------------ *)
+
+let e3_g_unachievable setup =
+  let n = setup.Setup.n in
+  let table =
+    Tabular.create ~title:"E3 (Lemma 5.4): G fails when D is not in psi_L"
+      ~columns:[ "protocol"; "distribution"; "corrupted"; "G verdict"; "worst bucket gap" ]
+  in
+  (* The corrupted set must contain a party whose input is correlated
+     with the honest ones: P1 for copy-pair (x0 = x1), anyone for
+     xor-parity. *)
+  let cases =
+    [
+      (Sb_protocols.Gennaro.protocol, "xor-parity", Sb_dist.Dist.xor_parity ~even:true n, [ n - 1 ]);
+      (Sb_protocols.Gennaro.protocol, "copy-pair", Sb_dist.Dist.copy_pair n, [ 1 ]);
+      (Sb_protocols.Cgma.protocol, "xor-parity", Sb_dist.Dist.xor_parity ~even:true n, [ n - 1 ]);
+      (Sb_protocols.Chor_rabin.protocol, "copy-pair", Sb_dist.Dist.copy_pair n, [ 1 ]);
+      (Sb_protocols.Ideal_sb.protocol, "xor-parity", Sb_dist.Dist.xor_parity ~even:true n, [ n - 1 ]);
+    ]
+  in
+  let checks =
+    List.map
+      (fun ((p : Sb_sim.Protocol.t), dname, dist, corrupt) ->
+        let adversary = Adversaries.semi_honest p ~corrupt in
+        let r = G_test.run (g_setup setup) ~protocol:p ~adversary ~dist () in
+        let worst =
+          match r.G_test.worst with
+          | Some w -> cell_interval w.G_test.gap
+          | None -> "-"
+        in
+        Tabular.add_row table
+          [
+            p.Sb_sim.Protocol.name;
+            dname;
+            Format.asprintf "%a" Subset.pp corrupt;
+            vstr r.G_test.verdict;
+            worst;
+          ];
+        expect_verdict r.G_test.verdict Sb_stats.Verdict.Fail)
+      cases
+  in
+  {
+    id = "E3";
+    title = "G unachievable outside psi_L (Lemma 5.4)";
+    table;
+    ok = List.for_all Fun.id checks;
+    rows_checked = List.length checks;
+    notes =
+      [
+        "Even the IDEAL functionality fails: the definitions are unachievable \
+         because correct outputs must be correlated, not because protocols are weak.";
+      ];
+  }
+
+(* --- E4: feasibility on achievable distributions (Claims 5.1/5.3) -- *)
+
+let e4_feasibility setup =
+  let n = setup.Setup.n in
+  let table =
+    Tabular.create
+      ~title:"E4 (Claims 5.1/5.3): CGMA / Chor-Rabin / Gennaro achieve CR and G on achievable D"
+      ~columns:[ "protocol"; "distribution"; "adversary"; "CR"; "G"; "worst CR gap" ]
+  in
+  (* Biases in [0.3, 0.7]: per-coordinate asymmetry while keeping every
+     honest-vector bucket heavy enough for conditional estimates. *)
+  let mixed =
+    Sb_dist.Dist.bernoulli_product
+      (Array.init n (fun i -> 0.3 +. (0.4 *. float_of_int i /. float_of_int (n - 1))))
+  in
+  let dists = [ ("uniform", Sb_dist.Dist.uniform n); ("mixed-bias product", mixed) ] in
+  let protocols =
+    [ Sb_protocols.Cgma.protocol; Sb_protocols.Chor_rabin.protocol; Sb_protocols.Gennaro.protocol ]
+  in
+  let corrupt = [ n - 2; n - 1 ] in
+  let checks =
+    List.concat_map
+      (fun (p : Sb_sim.Protocol.t) ->
+        let advs =
+          [
+            ("semi-honest", Adversaries.semi_honest p ~corrupt);
+            ("substitute-random", Adversaries.substitute_random p ~corrupt);
+          ]
+        in
+        List.concat_map
+          (fun (dname, dist) ->
+            List.map
+              (fun (aname, adversary) ->
+                let cr = Cr_test.run setup ~protocol:p ~adversary ~dist () in
+                let g = G_test.run (g_setup setup) ~protocol:p ~adversary ~dist () in
+                let worst =
+                  match cr.Cr_test.worst with
+                  | Some w -> cell_interval w.Cr_test.gap
+                  | None -> "-"
+                in
+                Tabular.add_row table
+                  [
+                    p.Sb_sim.Protocol.name; dname; aname; vstr cr.Cr_test.verdict;
+                    vstr g.G_test.verdict; worst;
+                  ];
+                expect_verdict cr.Cr_test.verdict Sb_stats.Verdict.Pass
+                && expect_verdict g.G_test.verdict Sb_stats.Verdict.Pass)
+              advs)
+          dists)
+      protocols
+  in
+  {
+    id = "E4";
+    title = "Feasibility on achievable distributions (Claims 5.1/5.3)";
+    table;
+    ok = List.for_all Fun.id checks;
+    rows_checked = List.length checks;
+    notes = [ "PASS is evidence relative to the adversary/predicate battery (see EXPERIMENTS.md)." ];
+  }
+
+(* --- E5: the Pi_G separation (Lemma 6.4) --------------------------- *)
+
+let e5_pi_g_separation setup =
+  let n = setup.Setup.n in
+  let table =
+    Tabular.create
+      ~title:"E5 (Lemma 6.4): Pi_G under A* is G-independent but not CR-independent"
+      ~columns:[ "Theta / distribution"; "G"; "G**"; "CR"; "CR worst"; "CR gap"; "Sb" ]
+  in
+  let astar = Adversaries.a_star ~corrupt:(n - 2, n - 1) in
+  let p = Sb_protocols.Pi_g.protocol in
+  let dists =
+    [
+      ("uniform", Sb_dist.Dist.uniform n);
+      ( "almost-uniform (k=8)",
+        (Sb_dist.Family.almost_uniform n).Sb_dist.Family.ensemble.Sb_dist.Ensemble.at 8 );
+    ]
+  in
+  let row (pname, p, adversary) (dname, dist) =
+    let g = G_test.run (g_setup setup) ~protocol:p ~adversary ~dist () in
+    let gss = Gss_test.run setup ~protocol:p ~adversary () in
+    let cr = Cr_test.run setup ~protocol:p ~adversary ~dist () in
+    let sb = Sb_test.run setup ~protocol:p ~adversary ~dist () in
+    let worst, gap =
+      match cr.Cr_test.worst with
+      | Some w ->
+          ( Printf.sprintf "(P%d, %s)" w.Cr_test.honest_party w.Cr_test.predicate,
+            cell_interval w.Cr_test.gap )
+      | None -> ("-", "-")
+    in
+    Tabular.add_row table
+      [
+        pname ^ " / " ^ dname; vstr g.G_test.verdict; vstr gss.Gss_test.verdict;
+        vstr cr.Cr_test.verdict; worst; gap; vstr sb.Sb_test.verdict;
+      ];
+    expect_verdict g.G_test.verdict Sb_stats.Verdict.Pass
+    && expect_verdict gss.Gss_test.verdict Sb_stats.Verdict.Pass
+    && expect_verdict cr.Cr_test.verdict Sb_stats.Verdict.Fail
+    && expect_verdict sb.Sb_test.verdict Sb_stats.Verdict.Fail
+  in
+  let ideal = ("ideal-Theta", p, astar) in
+  let real =
+    ( "BGW-Theta",
+      Sb_protocols.Theta_real.protocol ~n,
+      Sb_protocols.Theta_real.a_star_real ~n ~corrupt:(n - 2, n - 1) )
+  in
+  let checks =
+    List.map (row ideal) dists @ [ row real (List.hd dists) ]
+  in
+  {
+    id = "E5";
+    title = "Pi_G separates G from CR (Lemma 6.4)";
+    table;
+    ok = List.for_all Fun.id checks;
+    rows_checked = List.length checks;
+    notes =
+      [
+        "The paper predicts the CR parity-predicate gap to be exactly \
+         Pr(W_i=0) * (1 - Pr(W_i=0)) = 1/4 under uniform inputs.";
+        "The BGW-Theta row replaces the trusted party with a real semi-honest \
+         BGW evaluation of g (Claim 6.5): the separation is substrate-independent.";
+      ];
+  }
+
+(* --- E6: Singleton trivial for CR, not for Sb (Prop. 6.3) ---------- *)
+
+let e6_singleton_trivial setup =
+  let n = setup.Setup.n in
+  let table =
+    Tabular.create
+      ~title:"E6 (Prop. 6.3): Singleton is trivial for CR but not for Sb"
+      ~columns:[ "check"; "value"; "paper prediction"; "match" ]
+  in
+  let echo = Adversaries.echo ~mode:`Sequential ~copier:(n - 1) ~target:0 () in
+  let p = Sb_protocols.Naive.sequential in
+  let alpha = Bitvec.zero n in
+  let beta = Bitvec.set alpha 0 true in
+  (* CR on each singleton: trivially PASS. *)
+  let cr_of x =
+    Cr_test.run setup ~protocol:p ~adversary:echo ~dist:(Sb_dist.Dist.singleton x) ()
+  in
+  let cr_a = cr_of alpha and cr_b = cr_of beta in
+  (* Sb across the class: any one simulator sees identical corrupted
+     inputs under alpha and beta (they differ only at honest P0), so
+     its announced-bit distribution for the copier is the same in both
+     — yet the real protocol matches x_0 in both. Success mass across
+     the two singletons is therefore <= 1 for every simulator; the real
+     protocol achieves 2. *)
+  let match_rate x =
+    let hits = ref 0 in
+    let m = max 200 (setup.Setup.samples / 10) in
+    let rng = Rng.create setup.Setup.seed in
+    for _ = 1 to m do
+      let r = Announced.run_once setup ~protocol:p ~adversary:echo ~x (Rng.split rng) in
+      if Bitvec.get r.Announced.w (n - 1) = Bitvec.get x 0 then incr hits
+    done;
+    float_of_int !hits /. float_of_int m
+  in
+  let ra = match_rate alpha and rb = match_rate beta in
+  let sb_advantage = ra +. rb -. 1.0 in
+  let checks =
+    [
+      ( "CR verdict on singleton(00000)",
+        vstr cr_a.Cr_test.verdict,
+        "PASS (trivial)",
+        expect_verdict cr_a.Cr_test.verdict Sb_stats.Verdict.Pass );
+      ( "CR verdict on singleton(10000)",
+        vstr cr_b.Cr_test.verdict,
+        "PASS (trivial)",
+        expect_verdict cr_b.Cr_test.verdict Sb_stats.Verdict.Pass );
+      ( "real Pr[W_copier = x_0] summed over both singletons",
+        Printf.sprintf "%.2f + %.2f" ra rb,
+        "2.0 (ideal with ANY single simulator: <= 1.0)",
+        sb_advantage > 0.5 );
+      ( "Sb advantage over every simulator",
+        Printf.sprintf "%.2f" sb_advantage,
+        ">= 0.5",
+        sb_advantage > 0.5 );
+    ]
+  in
+  List.iter
+    (fun (c, v, pred, ok) -> Tabular.add_row table [ c; v; pred; Tabular.cell_bool ok ])
+    checks;
+  {
+    id = "E6";
+    title = "Singleton trivial for CR, not Sb (Prop. 6.3)";
+    table;
+    ok = List.for_all (fun (_, _, _, ok) -> ok) checks;
+    rows_checked = List.length checks;
+    notes = [];
+  }
+
+(* --- E7: implications Sb => CR => G (Lemmas 6.1/6.2) ---------------- *)
+
+let e7_implications setup =
+  let n = setup.Setup.n in
+  let table =
+    Tabular.create
+      ~title:"E7 (Lemmas 6.1/6.2): stronger-definition protocols pass the weaker testers"
+      ~columns:[ "claim"; "protocol"; "distribution"; "tester"; "verdict" ]
+  in
+  let corrupt = [ n - 2; n - 1 ] in
+  let rare = (Sb_dist.Family.rare_leak n).Sb_dist.Family.ensemble.Sb_dist.Ensemble.at 10 in
+  let cases =
+    [
+      (* Sb-secure CGMA must be CR-independent on members of D(CR). *)
+      ("Sb => CR", Sb_protocols.Cgma.protocol, "uniform", Sb_dist.Dist.uniform n, `Cr);
+      ("Sb => CR", Sb_protocols.Cgma.protocol, "rare-leak(k=10)", rare, `Cr);
+      (* CR-secure Chor-Rabin must be G-independent on members of D(G). *)
+      ("CR => G", Sb_protocols.Chor_rabin.protocol, "uniform", Sb_dist.Dist.uniform n, `G);
+      ( "CR => G",
+        Sb_protocols.Chor_rabin.protocol,
+        "almost-uniform(k=8)",
+        (Sb_dist.Family.almost_uniform n).Sb_dist.Family.ensemble.Sb_dist.Ensemble.at 8,
+        `G );
+    ]
+  in
+  let checks =
+    List.map
+      (fun (claim, (p : Sb_sim.Protocol.t), dname, dist, tester) ->
+        let adversary = Adversaries.semi_honest p ~corrupt in
+        let verdict, tname =
+          match tester with
+          | `Cr -> ((Cr_test.run setup ~protocol:p ~adversary ~dist ()).Cr_test.verdict, "CR")
+          | `G -> ((G_test.run (g_setup setup) ~protocol:p ~adversary ~dist ()).G_test.verdict, "G")
+        in
+        Tabular.add_row table [ claim; p.Sb_sim.Protocol.name; dname; tname; vstr verdict ];
+        expect_verdict verdict Sb_stats.Verdict.Pass)
+      cases
+  in
+  {
+    id = "E7";
+    title = "Implications on achievable classes (Lemmas 6.1/6.2)";
+    table;
+    ok = List.for_all Fun.id checks;
+    rows_checked = List.length checks;
+    notes = [];
+  }
+
+(* --- E8: round/message complexity vs n (the efficiency story) ------ *)
+
+let e8_complexity ?(ns = [ 4; 8; 16; 32; 64 ]) ?(thresh = 1) () =
+  let table =
+    Tabular.create
+      ~title:"E8: round and message complexity vs n (t = 1) -- the [7] vs [8] vs [12] story"
+      ~columns:[ "protocol"; "n"; "rounds"; "p2p msgs"; "broadcasts" ]
+  in
+  let protocols =
+    [
+      ("naive-sequential", Sb_protocols.Naive.sequential);
+      ("cgma-vss (linear, [7])", Sb_protocols.Cgma.protocol);
+      ("chor-rabin-log ([8])", Sb_protocols.Chor_rabin.protocol);
+      ("gennaro-constant ([12])", Sb_protocols.Gennaro.protocol);
+      ("seq-dolev-strong (p2p)", Sb_broadcast.Parallel.sequential Sb_broadcast.Dolev_strong.scheme);
+      ("conc-send-echo (p2p)", Sb_broadcast.Parallel.concurrent Sb_broadcast.Send_echo.scheme);
+      ("conc-phase-king (p2p)", Sb_broadcast.Parallel.concurrent Sb_broadcast.Phase_king.scheme);
+      ("conc-bracha (p2p)", Sb_broadcast.Parallel.concurrent Sb_broadcast.Bracha.scheme);
+    ]
+  in
+  let measurements =
+    List.map
+      (fun (label, (p : Sb_sim.Protocol.t)) ->
+        let per_n =
+          List.map
+            (fun n ->
+              let rng = Rng.create (1000 + n) in
+              let ctx = Sb_sim.Ctx.make ~rng ~n ~thresh ~k:8 () in
+              let inputs = Array.init n (fun i -> Sb_sim.Msg.Bit (i mod 2 = 0)) in
+              let r = Sb_sim.Network.honest_run ctx ~rng ~protocol:p ~inputs in
+              let bcasts = Sb_sim.Trace.broadcast_count r.Sb_sim.Network.trace in
+              Tabular.add_row table
+                [
+                  label; string_of_int n; string_of_int r.Sb_sim.Network.rounds_used;
+                  string_of_int r.Sb_sim.Network.p2p_messages; string_of_int bcasts;
+                ];
+              (n, r.Sb_sim.Network.rounds_used))
+            ns
+          |> fun rows ->
+          Tabular.add_rule table;
+          rows
+        in
+        (label, per_n))
+      protocols
+  in
+  (* Shape checks: Gennaro constant; Chor-Rabin ~ log growth; CGMA and
+     naive-sequential linear. *)
+  let rounds_of label n = List.assoc n (List.assoc label measurements) in
+  let lo = List.hd ns and hi = List.nth ns (List.length ns - 1) in
+  let ratio = float_of_int hi /. float_of_int lo in
+  let growth label = float_of_int (rounds_of label hi) /. float_of_int (rounds_of label lo) in
+  let checks =
+    [
+      ("gennaro constant", growth "gennaro-constant ([12])" = 1.0);
+      ("chor-rabin sublinear", growth "chor-rabin-log ([8])" < ratio /. 2.0);
+      ("cgma linear", growth "cgma-vss (linear, [7])" > ratio *. 0.8);
+      ("naive linear", growth "naive-sequential" > ratio *. 0.8);
+      ( "ordering at max n",
+        rounds_of "gennaro-constant ([12])" hi < rounds_of "chor-rabin-log ([8])" hi
+        && rounds_of "chor-rabin-log ([8])" hi < rounds_of "cgma-vss (linear, [7])" hi );
+    ]
+  in
+  List.iter
+    (fun (c, ok) -> Tabular.add_row table [ c; "-"; "-"; "-"; Tabular.cell_bool ok ])
+    checks;
+  {
+    id = "E8";
+    title = "Round/message complexity (the efficiency motivation)";
+    table;
+    ok = List.for_all snd checks;
+    rows_checked = List.length checks;
+    notes =
+      [
+        "Rounds are exact protocol constants; messages measured on an honest run.";
+        "The p2p rows instantiate the broadcast channel with Byzantine substrates.";
+      ];
+  }
+
+(* --- E10: G** agrees with G (Props. B.3/B.4) ----------------------- *)
+
+let e10_gss_agreement setup =
+  let n = setup.Setup.n in
+  let table =
+    Tabular.create
+      ~title:"E10 (Props. B.3/B.4): the G* and G** testers agree with each other and with G"
+      ~columns:[ "protocol"; "adversary"; "G"; "G*"; "G**"; "agree" ]
+  in
+  let gen = Sb_protocols.Gennaro.protocol in
+  let cases =
+    [
+      (gen, "semi-honest", Adversaries.semi_honest gen ~corrupt:[ n - 2; n - 1 ]);
+      (Sb_protocols.Pi_g.protocol, "A*", Adversaries.a_star ~corrupt:(n - 2, n - 1));
+      ( Sb_protocols.Naive.sequential,
+        "echo",
+        Adversaries.echo ~mode:`Sequential ~copier:(n - 1) ~target:0 () );
+      ( Sb_protocols.Commit_open.protocol,
+        "reveal-withhold",
+        Adversaries.reveal_withhold Sb_protocols.Commit_open.protocol ~corrupt:[ n - 1 ]
+          ~reveal_round:(fun _ -> 1)
+          ~reveal_tag_prefix:"co-open" ~honest_probe:Adversaries.probe_commit_open_parity );
+    ]
+  in
+  let checks =
+    List.map
+      (fun ((p : Sb_sim.Protocol.t), aname, adversary) ->
+        let g =
+          G_test.run (g_setup setup) ~protocol:p ~adversary ~dist:(Sb_dist.Dist.uniform n) ()
+        in
+        (* Corrupted committed bits set to 1, so reveal-vs-withhold
+           actually moves the announced value. *)
+        let w = Bitvec.init n (fun i -> i >= n - 2) in
+        let gss = Gss_test.run setup ~protocol:p ~adversary ~w () in
+        let gstar = Gss_test.run_star setup ~protocol:p ~adversary ~w () in
+        let agree =
+          Sb_stats.Verdict.equal g.G_test.verdict gss.Gss_test.verdict
+          && Sb_stats.Verdict.equal gss.Gss_test.verdict gstar.Gss_test.verdict
+        in
+        Tabular.add_row table
+          [
+            p.Sb_sim.Protocol.name; aname; vstr g.G_test.verdict; vstr gstar.Gss_test.verdict;
+            vstr gss.Gss_test.verdict; Tabular.cell_bool agree;
+          ];
+        agree)
+      cases
+  in
+  {
+    id = "E10";
+    title = "G** vs G agreement (Props. B.3/B.4)";
+    table;
+    ok = List.for_all Fun.id checks;
+    rows_checked = List.length checks;
+    notes =
+      [ "G* and G** fix inputs instead of conditioning on announced values (no bucketing \
+         pathologies); their equivalence is Proposition B.3." ];
+  }
+
+(* --- E11: the echo attack, quantified (Section 3.2) ----------------- *)
+
+let e11_echo_attack setup =
+  let n = setup.Setup.n in
+  let table =
+    Tabular.create ~title:"E11 (Section 3.2): the rushing echo attack on naive parallel broadcast"
+      ~columns:[ "protocol"; "adversary"; "Pr[W_copier = W_target]"; "Pr[W_copier = x_copier]"; "CR" ]
+  in
+  let copier = n - 1 and target = 0 in
+  let uniform = Sb_dist.Dist.uniform n in
+  let cases =
+    [
+      (Sb_protocols.Naive.sequential, "passive", Adversaries.passive, false);
+      ( Sb_protocols.Naive.sequential,
+        "echo",
+        Adversaries.echo ~mode:`Sequential ~copier ~target (),
+        true );
+      ( Sb_protocols.Naive.concurrent,
+        "echo (rushing)",
+        Adversaries.echo ~mode:`Concurrent ~copier ~target (),
+        true );
+      ( Sb_protocols.Gennaro.protocol,
+        "echo attempt",
+        Adversaries.echo ~mode:`Concurrent ~copier ~target (),
+        false );
+    ]
+  in
+  let checks =
+    List.map
+      (fun ((p : Sb_sim.Protocol.t), aname, adversary, expect_correlated) ->
+        let match_target = ref 0 and match_own = ref 0 and total = ref 0 in
+        let rng = Rng.create setup.Setup.seed in
+        let small = Setup.with_samples (max 500 (setup.Setup.samples / 4)) setup in
+        Announced.sample small ~protocol:p ~adversary ~dist:uniform rng (fun r ->
+            incr total;
+            if Bitvec.get r.Announced.w copier = Bitvec.get r.Announced.w target then
+              incr match_target;
+            if Bitvec.get r.Announced.w copier = Bitvec.get r.Announced.x copier then
+              incr match_own);
+        let pt = float_of_int !match_target /. float_of_int !total in
+        let po = float_of_int !match_own /. float_of_int !total in
+        let cr = Cr_test.run small ~protocol:p ~adversary ~dist:uniform () in
+        Tabular.add_row table
+          [
+            p.Sb_sim.Protocol.name; aname; Tabular.cell_float ~digits:3 pt;
+            Tabular.cell_float ~digits:3 po; vstr cr.Cr_test.verdict;
+          ];
+        if expect_correlated then pt > 0.95 && expect_verdict cr.Cr_test.verdict Sb_stats.Verdict.Fail
+        else pt < 0.6 && not (expect_verdict cr.Cr_test.verdict Sb_stats.Verdict.Fail))
+      cases
+  in
+  {
+    id = "E11";
+    title = "Echo attack quantified (Section 3.2)";
+    table;
+    ok = List.for_all Fun.id checks;
+    rows_checked = List.length checks;
+    notes =
+      [
+        "Against Gennaro the same adversary code copies a hiding commitment \
+         broadcast instead of a value, and is disqualified at the complaint \
+         round: the copier's announced value stays independent.";
+      ];
+  }
+
+(* --- E12: ablation -- recoverable reveals matter -------------------- *)
+
+let e12_reveal_ablation setup =
+  let n = setup.Setup.n in
+  let table =
+    Tabular.create
+      ~title:"E12 (ablation): selective reveal-withholding vs recoverable (VSS) reveals"
+      ~columns:[ "protocol"; "reveal"; "G verdict"; "CR verdict"; "paper-shape" ]
+  in
+  let uniform = Sb_dist.Dist.uniform n in
+  let corrupt = [ n - 2; n - 1 ] in
+  let withhold_co =
+    Adversaries.reveal_withhold Sb_protocols.Commit_open.protocol ~corrupt
+      ~reveal_round:(fun _ -> 1)
+      ~reveal_tag_prefix:"co-open" ~honest_probe:Adversaries.probe_commit_open_parity
+  in
+  let withhold_vss p reveal_round =
+    Adversaries.reveal_withhold p ~corrupt ~reveal_round ~reveal_tag_prefix:"vss:"
+      ~honest_probe:(Adversaries.probe_vss_secret ~dealer:0)
+  in
+  let cases =
+    [
+      (Sb_protocols.Commit_open.protocol, "bare (abortable)", withhold_co, Sb_stats.Verdict.Fail);
+      ( Sb_protocols.Gennaro.protocol,
+        "VSS (recoverable)",
+        withhold_vss Sb_protocols.Gennaro.protocol (fun _ -> Sb_protocols.Gennaro.reveal_round),
+        Sb_stats.Verdict.Pass );
+      ( Sb_protocols.Cgma.protocol,
+        "VSS (recoverable)",
+        withhold_vss Sb_protocols.Cgma.protocol (fun ctx ->
+            Sb_protocols.Cgma.reveal_round ~n:ctx.Sb_sim.Ctx.n),
+        Sb_stats.Verdict.Pass );
+      ( Sb_protocols.Chor_rabin.protocol,
+        "VSS (recoverable)",
+        withhold_vss Sb_protocols.Chor_rabin.protocol (fun ctx ->
+            Sb_protocols.Chor_rabin.reveal_round ~n:ctx.Sb_sim.Ctx.n),
+        Sb_stats.Verdict.Pass );
+    ]
+  in
+  let checks =
+    List.map
+      (fun ((p : Sb_sim.Protocol.t), rstyle, adversary, expected) ->
+        let g = G_test.run (g_setup setup) ~protocol:p ~adversary ~dist:uniform () in
+        let cr = Cr_test.run setup ~protocol:p ~adversary ~dist:uniform () in
+        (* The shape check is on G — the notion Gennaro's protocol was
+           proven under; the CR column is reported for reference (its
+           gap on bare commit-open sits near the inconclusive band). *)
+        let ok = Sb_stats.Verdict.equal g.G_test.verdict expected in
+        Tabular.add_row table
+          [ p.Sb_sim.Protocol.name; rstyle; vstr g.G_test.verdict; vstr cr.Cr_test.verdict;
+            Tabular.cell_bool ok ];
+        ok)
+      cases
+  in
+  {
+    id = "E12";
+    title = "Recoverable reveals ablation";
+    table;
+    ok = List.for_all Fun.id checks;
+    rows_checked = List.length checks;
+    notes =
+      [
+        "Bare commit-open lets a rushing party steer between 'open' and \
+         'default 0' after reading honest openings; every protocol in the \
+         paper's lineage shares VSS-style recoverability precisely to close \
+         this channel.";
+      ];
+  }
+
+(* --- E13: Corollary 5.5 / the §7 open problem, empirically ---------- *)
+
+let e13_simulation setup =
+  let n = setup.Setup.n in
+  let table =
+    Tabular.create
+      ~title:
+        "E13 (Cor. 5.5 + §7 open problem): Sb tester with the sandbox simulator"
+      ~columns:[ "protocol"; "adversary"; "Sb"; "joint TVD"; "baseline"; "expected" ]
+  in
+  let uniform = Sb_dist.Dist.uniform n in
+  let corrupt = [ n - 2; n - 1 ] in
+  let withhold p reveal_round =
+    Adversaries.reveal_withhold p ~corrupt ~reveal_round ~reveal_tag_prefix:"vss:"
+      ~honest_probe:(Adversaries.probe_vss_secret ~dealer:0)
+  in
+  let vss_cases =
+    List.concat_map
+      (fun ((p : Sb_sim.Protocol.t), reveal_round) ->
+        [
+          (p, "semi-honest", Adversaries.semi_honest p ~corrupt, Sb_stats.Verdict.Pass);
+          (p, "substitute-random", Adversaries.substitute_random p ~corrupt, Sb_stats.Verdict.Pass);
+          (p, "reveal-withhold", withhold p reveal_round, Sb_stats.Verdict.Pass);
+        ])
+      [
+        (Sb_protocols.Gennaro.protocol, fun _ -> Sb_protocols.Gennaro.reveal_round);
+        ( Sb_protocols.Cgma.protocol,
+          fun (ctx : Sb_sim.Ctx.t) -> Sb_protocols.Cgma.reveal_round ~n:ctx.Sb_sim.Ctx.n );
+        ( Sb_protocols.Chor_rabin.protocol,
+          fun (ctx : Sb_sim.Ctx.t) -> Sb_protocols.Chor_rabin.reveal_round ~n:ctx.Sb_sim.Ctx.n );
+      ]
+  in
+  let controls =
+    [
+      (* Negative control: the sandbox simulator exists for every
+         protocol, but for the naive one the tester must still FAIL. *)
+      ( Sb_protocols.Naive.sequential,
+        "echo",
+        Adversaries.echo ~mode:`Sequential ~copier:(n - 1) ~target:0 (),
+        Sb_stats.Verdict.Fail );
+    ]
+  in
+  let checks =
+    List.map
+      (fun ((p : Sb_sim.Protocol.t), aname, adversary, expected) ->
+        let simulator = Sb_test.sandbox ~protocol:p ~adversary in
+        let r = Sb_test.run setup ~protocol:p ~adversary ~dist:uniform ~simulator () in
+        let cell = function Some v -> Tabular.cell_float v | None -> "-" in
+        Tabular.add_row table
+          [
+            p.Sb_sim.Protocol.name; aname; vstr r.Sb_test.verdict; cell r.Sb_test.sim_tvd;
+            cell r.Sb_test.baseline_tvd; vstr expected;
+          ];
+        Sb_stats.Verdict.equal r.Sb_test.verdict expected)
+      (vss_cases @ controls)
+  in
+  {
+    id = "E13";
+    title = "Sb simulation of the VSS protocols (Cor. 5.5; evidence on the §7 open problem)";
+    table;
+    ok = List.for_all Fun.id checks;
+    rows_checked = List.length checks;
+    notes =
+      [
+        "The sandbox simulator runs the real adversary against dummy honest \
+         inputs; perfect hiding + recoverable reveals make this a correct \
+         ideal-process simulator for the VSS protocols.";
+        "Gennaro's protocol passing here (4 rounds, constant in n) is empirical \
+         evidence on the paper's §7 open problem: no battery member separates \
+         it from Sb-independence.";
+      ];
+  }
+
+(* --- E14: Figure 1, self-verifying ----------------------------------- *)
+
+let e14_figure1 setup =
+  (* Re-derive each arrow of the paper's Figure 1 from the experiments
+     that establish it, then print the figure with its verdicts. *)
+  let e1 = e1_distribution_classes ~n:setup.Setup.n () in
+  let e5 = e5_pi_g_separation setup in
+  let e6 = e6_singleton_trivial setup in
+  let e7 = e7_implications setup in
+  let arrows =
+    [
+      ("D(Sb) = All  >  D(CR) = psi_C  >  D(G) = psi_L  >  {uniform} + singletons", e1.ok);
+      ("Sb ==> CR on D(CR)   (Lemma 6.1)", e7.ok);
+      ("CR ==> G  on D(G)    (Lemma 6.2)", e7.ok);
+      ("CR =/=> Sb, witness: Singleton class + echo (Prop. 6.3)", e6.ok);
+      ("G  =/=> CR, witness: Pi_G + A*, even under uniform (Lemma 6.4)", e5.ok);
+    ]
+  in
+  let table =
+    Tabular.create ~title:"E14: Figure 1 of the paper, each arrow verified empirically"
+      ~columns:[ "relation"; "verified" ]
+  in
+  List.iter (fun (a, ok) -> Tabular.add_row table [ a; Tabular.cell_bool ok ]) arrows;
+  Tabular.add_rule table;
+  Tabular.add_row table
+    [ "   Sb [7]  ==(D(CR))==>  CR [8]  ==(D(G))==>  G [12]"; "" ];
+  Tabular.add_row table [ "       <=/= (Singleton)      <=/= (D(G), uniform)"; "" ];
+  {
+    id = "E14";
+    title = "Figure 1, assembled and verified";
+    table;
+    ok = List.for_all snd arrows;
+    rows_checked = List.length arrows;
+    notes =
+      [
+        "Strong definitions are achievable everywhere and imply the weak ones; \
+         weak definitions are achievable almost nowhere and imply nothing.";
+      ];
+  }
+
+let all ?(setup = Setup.default) () =
+  [
+    e1_distribution_classes ~n:setup.Setup.n ();
+    e2_cr_unachievable setup;
+    e3_g_unachievable setup;
+    e4_feasibility setup;
+    e5_pi_g_separation setup;
+    e6_singleton_trivial setup;
+    e7_implications setup;
+    e8_complexity ();
+    e10_gss_agreement setup;
+    e11_echo_attack setup;
+    e12_reveal_ablation setup;
+    e13_simulation setup;
+    e14_figure1 setup;
+  ]

@@ -1,0 +1,53 @@
+(** The per-claim experiment drivers (DESIGN.md §3).
+
+    Each [eN] function reproduces one table/claim of the paper,
+    returning both a rendered {!Sb_util.Tabular.t} and a machine-
+    checkable summary so the test suite can assert the paper-predicted
+    verdict pattern at reduced sample sizes while the benchmark
+    harness prints the full tables.
+
+    | Id  | Paper locus      | Content                                        |
+    |-----|------------------|------------------------------------------------|
+    | E1  | Claim 5.6        | distribution-class hierarchy                    |
+    | E2  | Lemma 5.2        | CR unachievable outside Ψ_C                     |
+    | E3  | Lemma 5.4        | G unachievable outside Ψ_L                      |
+    | E4  | Claims 5.1/5.3   | feasibility on achievable distributions         |
+    | E5  | Lemma 6.4        | Π_G separates G from CR                         |
+    | E6  | Prop. 6.3        | Singleton trivial for CR, not for Sb            |
+    | E7  | Lemmas 6.1/6.2   | implications Sb ⇒ CR ⇒ G on achievable classes  |
+    | E8  | §1 motivation    | round/message complexity vs n                   |
+    | E10 | Props. B.3/B.4   | G** agrees with G                               |
+    | E11 | §3.2             | the echo attack, quantified                     |
+    | E12 | — (ablation)     | recoverable reveals vs bare commit-open         |
+
+    (E9, wall-clock timing, lives in bench/main.ml with Bechamel.) *)
+
+type outcome = {
+  id : string;
+  title : string;
+  table : Sb_util.Tabular.t;
+  ok : bool;  (** all rows matched the paper's prediction *)
+  rows_checked : int;
+  notes : string list;
+}
+
+val e1_distribution_classes : ?n:int -> unit -> outcome
+val e2_cr_unachievable : Setup.t -> outcome
+val e3_g_unachievable : Setup.t -> outcome
+val e4_feasibility : Setup.t -> outcome
+val e5_pi_g_separation : Setup.t -> outcome
+val e6_singleton_trivial : Setup.t -> outcome
+val e7_implications : Setup.t -> outcome
+val e8_complexity : ?ns:int list -> ?thresh:int -> unit -> outcome
+val e10_gss_agreement : Setup.t -> outcome
+val e11_echo_attack : Setup.t -> outcome
+val e12_reveal_ablation : Setup.t -> outcome
+val e13_simulation : Setup.t -> outcome
+
+val e14_figure1 : Setup.t -> outcome
+(** Re-derives every arrow of the paper's Figure 1 from E1/E5/E6/E7 and
+    renders the verified diagram; the closing artifact of the bench
+    run. Note: re-runs those experiments at the given setup. *)
+
+val all : ?setup:Setup.t -> unit -> outcome list
+(** Every experiment at the given (default) setup, in order. *)

@@ -1,0 +1,32 @@
+type t = { name : string; eval : bool array -> bool }
+
+let parity =
+  {
+    name = "parity=0";
+    eval = (fun z -> not (Array.fold_left (fun acc b -> if b then not acc else acc) false z));
+  }
+
+let bit j = { name = Printf.sprintf "bit[%d]" j; eval = (fun z -> z.(j)) }
+
+let majority =
+  {
+    name = "majority";
+    eval =
+      (fun z ->
+        let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 z in
+        2 * ones > Array.length z);
+  }
+
+let all_zero = { name = "all-zero"; eval = (fun z -> Array.for_all not z) }
+
+let any_two_equal_adjacent =
+  {
+    name = "adjacent-equal";
+    eval =
+      (fun z ->
+        let rec go i = i + 1 < Array.length z && (z.(i) = z.(i + 1) || go (i + 1)) in
+        go 0);
+  }
+
+let battery ~n =
+  (parity :: List.init (n - 1) bit) @ [ majority; all_zero; any_two_equal_adjacent ]

@@ -1,0 +1,91 @@
+open Sb_sim
+
+let default = Msg.Bit false
+
+let scheme =
+  {
+    Session.scheme_name = "bracha";
+    rounds = (fun _ -> 4);
+    create =
+      (fun ctx ~rng:_ ~sid ~sender ~me ~value ->
+        assert ((me = sender) = Option.is_some value);
+        let n = ctx.Ctx.n in
+        let t = ctx.Ctx.thresh in
+        let echo_quorum = (n + t + 2) / 2 (* ceil((n+t+1)/2) *) in
+        let echoes : (int, Msg.t) Hashtbl.t = Hashtbl.create 8 in
+        let readies : (int, Msg.t) Hashtbl.t = Hashtbl.create 8 in
+        let echoed = ref false in
+        let ready_sent = ref false in
+        let wrap m = Session.wrap ~sid m in
+        let send_all m =
+          List.map
+            (fun (e : Envelope.t) -> { e with Envelope.body = wrap e.Envelope.body })
+            (Envelope.to_all ~n ~src:me m)
+        in
+        let count table v =
+          Hashtbl.fold (fun _ m acc -> if Msg.equal m v then acc + 1 else acc) table 0
+        in
+        let values table =
+          let seen = Hashtbl.create 4 in
+          Hashtbl.iter (fun _ m -> Hashtbl.replace seen (Msg.serialize m) m) table;
+          Hashtbl.fold (fun _ m acc -> m :: acc) seen []
+        in
+        let record inbox =
+          List.iter
+            (fun (e : Envelope.t) ->
+              match (Envelope.src_party e, Session.unwrap ~sid e.Envelope.body) with
+              | Some src, Some (Msg.Tag ("br-echo", v)) ->
+                  if not (Hashtbl.mem echoes src) then Hashtbl.replace echoes src v
+              | Some src, Some (Msg.Tag ("br-ready", v)) ->
+                  if not (Hashtbl.mem readies src) then Hashtbl.replace readies src v
+              | _ -> ())
+            inbox
+        in
+        let maybe_ready () =
+          if !ready_sent then []
+          else
+            let candidates =
+              List.filter
+                (fun v -> count echoes v >= echo_quorum || count readies v >= t + 1)
+                (values echoes @ values readies)
+            in
+            match candidates with
+            | v :: _ ->
+                ready_sent := true;
+                send_all (Msg.Tag ("br-ready", v))
+            | [] -> []
+        in
+        let step ~round ~inbox =
+          record inbox;
+          match round with
+          | 0 -> (
+              match value with
+              | Some v -> send_all (Msg.Tag ("br-init", v))
+              | None -> [])
+          | 1 ->
+              if not !echoed then begin
+                let init =
+                  List.find_map
+                    (fun (e : Envelope.t) ->
+                      match (Envelope.src_party e, Session.unwrap ~sid e.Envelope.body) with
+                      | Some src, Some (Msg.Tag ("br-init", v)) when src = sender -> Some v
+                      | _ -> None)
+                    inbox
+                in
+                match init with
+                | Some v ->
+                    echoed := true;
+                    send_all (Msg.Tag ("br-echo", v))
+                | None -> []
+              end
+              else []
+          | 2 | 3 -> maybe_ready ()
+          | _ -> []
+        in
+        let result () =
+          match List.find_opt (fun v -> count readies v >= (2 * t) + 1) (values readies) with
+          | Some v -> v
+          | None -> default
+        in
+        { Session.step; result });
+  }

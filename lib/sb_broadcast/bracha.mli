@@ -1,0 +1,17 @@
+(** Bracha's reliable broadcast (echo / ready amplification), t < n/3.
+
+    Designed for asynchronous networks; run here over synchronous
+    rounds, where its quorum pattern completes in four: send, echo,
+    ready, ready-amplification. A party accepts a value once it holds
+    2t+1 READY messages for it; it sends READY either after
+    ⌈(n+t+1)/2⌉ matching ECHOes or after t+1 matching READYs (the
+    amplification that makes acceptance all-or-nothing). An execution
+    with a corrupted sender may terminate with no accepted value — in
+    that case the session reports the default 0, which all honest
+    parties share.
+
+    Included alongside {!Send_echo}, {!Dolev_strong}, {!Eig} and
+    {!Phase_king} to cover the quorum-based corner of the substrate
+    design space (the paper's reference [3] lineage). *)
+
+val scheme : Session.scheme

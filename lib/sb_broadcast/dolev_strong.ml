@@ -1,0 +1,92 @@
+open Sb_sim
+
+let default = Msg.Bit false
+
+(* The string every signature in session [sid] covers for value [v]. *)
+let base ~sid v = "ds:" ^ sid ^ ":" ^ Msg.serialize v
+
+(* Wire format: List [value; List [List [Int signer; Str sig]; ...]] *)
+let encode v sigs =
+  Msg.List [ v; Msg.List (List.map (fun (i, s) -> Msg.List [ Msg.Int i; Msg.Str s ]) sigs) ]
+
+let decode m =
+  match m with
+  | Msg.List [ v; Msg.List sigs ] ->
+      let decode_sig = function
+        | Msg.List [ Msg.Int i; Msg.Str s ] -> Some (i, s)
+        | _ -> None
+      in
+      let decoded = List.filter_map decode_sig sigs in
+      if List.length decoded = List.length sigs then Some (v, decoded) else None
+  | _ -> None
+
+let scheme =
+  {
+    Session.scheme_name = "dolev-strong";
+    rounds = (fun ctx -> ctx.Ctx.thresh + 1);
+    create =
+      (fun ctx ~rng:_ ~sid ~sender ~me ~value ->
+        assert ((me = sender) = Option.is_some value);
+        let n = ctx.Ctx.n in
+        let t = ctx.Ctx.thresh in
+        let sigs = ctx.Ctx.sigs in
+        let accepted : Msg.t list ref = ref [] in
+        (* Values to relay next round, with their signature sets. *)
+        let outbox : (Msg.t * (int * string) list) list ref = ref [] in
+        let valid_chain ~need v chain =
+          (* Signatures are prepended as the value travels, so the
+             sender's signature sits at the tail of the chain. *)
+          let signers = List.map fst chain in
+          List.length chain >= need
+          && List.mem sender signers
+          && List.length (List.sort_uniq Int.compare signers) = List.length signers
+          && List.for_all
+               (fun (i, s) -> Sb_crypto.Sig.verify sigs ~signer:i (base ~sid v) s)
+               chain
+        in
+        let process ~round inbox =
+          List.iter
+            (fun (e : Envelope.t) ->
+              match Option.bind (Session.unwrap ~sid e.Envelope.body) decode with
+              | Some (v, chain)
+                when valid_chain ~need:round v chain
+                     && (not (List.exists (Msg.equal v) !accepted))
+                     && List.length !accepted < 2 ->
+                  accepted := v :: !accepted;
+                  if round <= t && not (List.exists (fun (i, _) -> i = me) chain) then
+                    outbox :=
+                      (v, (me, Sb_crypto.Sig.sign sigs ~signer:me (base ~sid v)) :: chain)
+                      :: !outbox
+              | _ -> ())
+            inbox
+        in
+        let step ~round ~inbox =
+          process ~round inbox;
+          if round = 0 then begin
+            match value with
+            | Some v ->
+                accepted := [ v ];
+                let chain = [ (me, Sb_crypto.Sig.sign sigs ~signer:me (base ~sid v)) ] in
+                List.map
+                  (fun (e : Envelope.t) ->
+                    { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
+                  (Envelope.to_all ~n ~src:me (encode v chain))
+            | None -> []
+          end
+          else begin
+            let out =
+              List.concat_map
+                (fun (v, chain) ->
+                  List.map
+                    (fun (e : Envelope.t) ->
+                      { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
+                    (Envelope.to_all ~n ~src:me (encode v chain)))
+                !outbox
+            in
+            outbox := [];
+            out
+          end
+        in
+        let result () = match !accepted with [ v ] -> v | _ -> default in
+        { Session.step; result });
+  }

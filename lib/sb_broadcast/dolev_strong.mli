@@ -1,0 +1,18 @@
+(** Dolev–Strong authenticated broadcast: t+1 rounds, tolerates any
+    number of corruptions t < n.
+
+    The sender signs its value and sends it to everyone. A party that
+    by local round r holds a value carrying r valid signatures from r
+    distinct parties (the first being the sender) accepts it; if it is
+    the first or second value accepted and r ≤ t, it appends its own
+    signature and relays to everyone next round. After round t+1 a
+    party outputs the unique accepted value, or the default 0 if it
+    accepted zero or more than one value.
+
+    Signatures come from the ideal registry in the execution context
+    ({!Sb_crypto.Sig}), i.e. the classic trusted-PKI setting. The
+    flat (multi-signature set) variant is used rather than nested
+    chains; with ideal signatures the two are equivalent and the flat
+    one is simpler to check. *)
+
+val scheme : Session.scheme

@@ -1,0 +1,105 @@
+open Sb_sim
+
+let default = Msg.Bit false
+
+let encode_pair (path, v) =
+  Msg.List [ Msg.List (List.map (fun i -> Msg.Int i) path); v ]
+
+let decode_pair = function
+  | Msg.List [ Msg.List path; v ] ->
+      let ints =
+        List.filter_map (function Msg.Int i -> Some i | _ -> None) path
+      in
+      if List.length ints = List.length path then Some (ints, v) else None
+  | _ -> None
+
+let distinct l = List.length (List.sort_uniq Int.compare l) = List.length l
+
+let scheme =
+  {
+    Session.scheme_name = "eig";
+    rounds = (fun ctx -> ctx.Ctx.thresh + 1);
+    create =
+      (fun ctx ~rng:_ ~sid ~sender ~me ~value ->
+        assert ((me = sender) = Option.is_some value);
+        let n = ctx.Ctx.n in
+        let t = ctx.Ctx.thresh in
+        let tree : (int list, Msg.t) Hashtbl.t = Hashtbl.create 64 in
+        let last_level : (int list * Msg.t) list ref = ref [] in
+        let store ~round inbox =
+          List.iter
+            (fun (e : Envelope.t) ->
+              let src = Envelope.src_party e in
+              match Option.map Msg.to_list_exn (Session.unwrap ~sid e.Envelope.body) with
+              | Some pairs ->
+                  List.iter
+                    (fun pair ->
+                      match decode_pair pair with
+                      | Some (path, v)
+                        when List.length path = round
+                             && distinct path
+                             && (match path with p0 :: _ -> p0 = sender | [] -> false)
+                             && (match List.rev path with last :: _ -> Some last = src | [] -> false)
+                             && not (Hashtbl.mem tree path) ->
+                          Hashtbl.replace tree path v;
+                          last_level := (path, v) :: !last_level
+                      | _ -> ())
+                    pairs
+              | None -> ()
+              | exception Invalid_argument _ -> ())
+            inbox
+        in
+        let broadcast_pairs pairs =
+          if pairs = [] then []
+          else
+            List.map
+              (fun (e : Envelope.t) ->
+                { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
+              (Envelope.to_all ~n ~src:me (Msg.List (List.map encode_pair pairs)))
+        in
+        let step ~round ~inbox =
+          last_level := [];
+          store ~round inbox;
+          if round = 0 then (
+            match value with
+            | Some v ->
+                Hashtbl.replace tree [ sender ] v;
+                broadcast_pairs [ ([ sender ], v) ]
+            | None -> [])
+          else if round <= t then
+            (* Relay every level-[round] report not already mentioning me. *)
+            broadcast_pairs
+              (List.filter_map
+                 (fun (path, v) ->
+                   if List.mem me path then None else Some (path @ [ me ], v))
+                 !last_level)
+          else []
+        in
+        let result () =
+          let rec resolve path =
+            if List.length path = t + 1 then
+              Option.value (Hashtbl.find_opt tree path) ~default
+            else begin
+              let children =
+                List.filter_map
+                  (fun j -> if List.mem j path then None else Some (resolve (path @ [ j ])))
+                  (List.init n Fun.id)
+              in
+              (* Strict majority of children, else default. *)
+              let counts = Hashtbl.create 8 in
+              List.iter
+                (fun v ->
+                  let key = Msg.serialize v in
+                  let c = match Hashtbl.find_opt counts key with Some (c, _) -> c | None -> 0 in
+                  Hashtbl.replace counts key (c + 1, v))
+                children;
+              let best = ref (0, default) in
+              Hashtbl.iter (fun _ (c, v) -> if c > fst !best then best := (c, v)) counts;
+              if 2 * fst !best > List.length children then snd !best else default
+            end
+          in
+          if t = 0 then Option.value (Hashtbl.find_opt tree [ sender ]) ~default
+          else resolve [ sender ]
+        in
+        { Session.step; result });
+  }

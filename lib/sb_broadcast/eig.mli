@@ -1,0 +1,16 @@
+(** Exponential Information Gathering broadcast (Byzantine Generals),
+    tolerating t < n/3 corruptions without signatures — the classic
+    protocol of Pease, Shostak and Lamport, whose "interactive
+    consistency" is the paper's historical source for parallel
+    broadcast (§3.2).
+
+    Parties build a tree of relayed reports: the node labelled by the
+    path (sender, i₁, …, i_r) of distinct party ids holds "what i_r
+    said that … i₁ said that the sender said". After t+1 relay rounds
+    the tree is resolved bottom-up by strict majority (default 0), and
+    the root is the broadcast value.
+
+    Message volume grows as n^t — faithful to the original, and fine
+    for the small t exercised here. *)
+
+val scheme : Session.scheme

@@ -1,0 +1,49 @@
+open Sb_sim
+
+let session_id i = "s" ^ string_of_int i
+
+let window ~mode ~scheme_rounds ~sender =
+  match mode with
+  | `Sequential ->
+      let r0 = sender * (scheme_rounds + 1) in
+      (r0, r0 + scheme_rounds)
+  | `Concurrent -> (0, scheme_rounds)
+
+let to_bit m = match m with Msg.Bit b -> b | _ -> false
+
+let make mode (scheme : Session.scheme) name =
+  let rounds ctx =
+    let r = scheme.rounds ctx in
+    match mode with
+    | `Sequential -> (ctx.Ctx.n * (r + 1)) - 1
+    | `Concurrent -> r
+  in
+  let make_party ctx ~rng ~id ~input =
+    let n = ctx.Ctx.n in
+    let sessions =
+      Array.init n (fun sender ->
+          let value = if sender = id then Some input else None in
+          scheme.create ctx ~rng:(Sb_util.Rng.split rng) ~sid:(session_id sender) ~sender
+            ~me:id ~value)
+    in
+    let scheme_rounds = scheme.rounds ctx in
+    let step ~round ~inbox =
+      List.concat
+        (List.init n (fun sender ->
+             let lo, hi = window ~mode ~scheme_rounds ~sender in
+             if round < lo || round > hi then []
+             else
+               let local = round - lo in
+               let sid = session_id sender in
+               sessions.(sender).Session.step ~round:local
+                 ~inbox:(Session.inbox_for ~sid inbox)))
+    in
+    let output () =
+      Msg.bits (List.init n (fun sender -> to_bit (sessions.(sender).Session.result ())))
+    in
+    { Party.step; output }
+  in
+  { Protocol.name; rounds; make_functionality = None; make_party }
+
+let sequential scheme = make `Sequential scheme ("sequential-" ^ scheme.Session.scheme_name)
+let concurrent scheme = make `Concurrent scheme ("concurrent-" ^ scheme.Session.scheme_name)

@@ -1,0 +1,27 @@
+(** Parallel broadcast from n single-sender sessions (§3.2).
+
+    Two compositions of a single-sender {!Session.scheme}:
+
+    - [sequential]: session i (sender P_i) occupies its own window of
+      rounds, one sender after another — the "simplest instantiation"
+      the paper uses to show that parallel broadcast alone does NOT
+      give independence (a rushing last sender echoes an earlier
+      value);
+    - [concurrent]: all n sessions share the same rounds — fewer
+      rounds, but still not independent, since rushing lets corrupted
+      senders pick their round-0 value after seeing honest senders'.
+
+    Honest parties output [Msg.List] of n values, coerced to bits with
+    default 0 for malformed results (footnote 2 of the paper). *)
+
+val session_id : int -> string
+(** The session id used for sender i, shared with adversaries that need
+    to speak the same wire format. *)
+
+val sequential : Session.scheme -> Sb_sim.Protocol.t
+val concurrent : Session.scheme -> Sb_sim.Protocol.t
+
+val window : mode:[ `Sequential | `Concurrent ] -> scheme_rounds:int -> sender:int -> int * int
+(** [window ~mode ~scheme_rounds ~sender] is the inclusive network-round
+    interval during which the sender's session is active; exposed so
+    adversaries can align their own session handling. *)

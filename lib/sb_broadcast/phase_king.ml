@@ -1,0 +1,84 @@
+open Sb_sim
+
+let default = Msg.Bit false
+
+(* Local schedule: round 0 the sender sends; round 1+2p all-to-all
+   exchange of phase p; round 2+2p the king (party p) speaks; the
+   king's value is processed on receipt, i.e. in the next step. Total
+   send rounds: 2t + 2; the session is read after round 2t + 3. *)
+let scheme =
+  {
+    Session.scheme_name = "phase-king";
+    rounds = (fun ctx -> (2 * ctx.Ctx.thresh) + 3);
+    create =
+      (fun ctx ~rng:_ ~sid ~sender ~me ~value ->
+        assert ((me = sender) = Option.is_some value);
+        let n = ctx.Ctx.n in
+        let t = ctx.Ctx.thresh in
+        let current = ref (Option.value value ~default) in
+        let strong = ref false in
+        let wrap m = Session.wrap ~sid m in
+        let payloads inbox =
+          List.filter_map
+            (fun (e : Envelope.t) ->
+              match (Envelope.src_party e, Session.unwrap ~sid e.Envelope.body) with
+              | Some src, Some m -> Some (src, m)
+              | _ -> None)
+            inbox
+        in
+        let step ~round ~inbox =
+          let msgs = payloads inbox in
+          (* 1. Process whatever this round delivered. *)
+          if round = 1 && me <> sender then begin
+            match List.assoc_opt sender msgs with
+            | Some (Msg.Tag ("pk-send", v)) -> current := v
+            | _ -> current := default
+          end;
+          if round >= 2 && round mod 2 = 0 then begin
+            (* Deliveries of an all-to-all exchange: adopt majority. *)
+            let counts = Hashtbl.create 8 in
+            List.iter
+              (fun (_, m) ->
+                match m with
+                | Msg.Tag ("pk-val", v) ->
+                    let key = Msg.serialize v in
+                    let c = match Hashtbl.find_opt counts key with Some (c, _) -> c | None -> 0 in
+                    Hashtbl.replace counts key (c + 1, v)
+                | _ -> ())
+              msgs;
+            let best = ref (0, default) in
+            Hashtbl.iter (fun _ (c, v) -> if c > fst !best then best := (c, v)) counts;
+            current := snd !best;
+            strong := 2 * fst !best > n + (2 * t)
+          end;
+          if round >= 3 && round mod 2 = 1 then begin
+            (* Delivery of phase ((round-3)/2)'s king value. *)
+            let king = (round - 3) / 2 in
+            match List.assoc_opt king msgs with
+            | Some (Msg.Tag ("pk-king", v)) -> if not !strong then current := v
+            | _ -> if not !strong then current := default
+          end;
+          (* 2. Send this round's traffic. *)
+          if round = 0 then (
+            match value with
+            | Some v ->
+                List.map
+                  (fun (e : Envelope.t) -> { e with Envelope.body = wrap e.Envelope.body })
+                  (Envelope.to_all ~n ~src:me (Msg.Tag ("pk-send", v)))
+            | None -> [])
+          else if round >= 1 && round <= (2 * t) + 1 && round mod 2 = 1 then
+            (* Phase (round-1)/2 all-to-all exchange. *)
+            List.map
+              (fun (e : Envelope.t) -> { e with Envelope.body = wrap e.Envelope.body })
+              (Envelope.to_all ~n ~src:me (Msg.Tag ("pk-val", !current)))
+          else if round >= 2 && round <= (2 * t) + 2 && round mod 2 = 0 && me = (round - 2) / 2
+          then
+            (* I am this phase's king. *)
+            List.map
+              (fun (e : Envelope.t) -> { e with Envelope.body = wrap e.Envelope.body })
+              (Envelope.to_all ~n ~src:me (Msg.Tag ("pk-king", !current)))
+          else []
+        in
+        let result () = !current in
+        { Session.step; result });
+  }

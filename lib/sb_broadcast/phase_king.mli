@@ -1,0 +1,19 @@
+(** Phase-King broadcast (Berman–Garay–Perry), tolerating t < n/4
+    corruptions without signatures in 2t + 3 rounds.
+
+    The sender distributes its value, then the parties run t+1 phases
+    of the phase-king consensus on what they received: each phase is
+    one all-to-all exchange (adopt the majority value, remember how
+    strong it was) followed by the phase's king broadcasting its own
+    value, which a party adopts unless its majority was overwhelming
+    (count > n/2 + t). With t+1 phases some king is honest, which
+    locks agreement; an honest sender's value survives every phase
+    because its support n − t exceeds the override threshold when
+    t < n/4.
+
+    Included as the constant-round-per-instance alternative to
+    {!Dolev_strong} (which needs signatures) and {!Eig} (which needs
+    exponential messages): three genuinely different points in the
+    substrate design space for the E8 comparison. *)
+
+val scheme : Session.scheme

@@ -1,0 +1,67 @@
+open Sb_sim
+
+let default = Msg.Bit false
+
+let scheme =
+  {
+    Session.scheme_name = "send-echo";
+    rounds = (fun _ -> 2);
+    create =
+      (fun ctx ~rng:_ ~sid ~sender ~me ~value ->
+        assert ((me = sender) = Option.is_some value);
+        let n = ctx.Ctx.n in
+        let received = ref None in
+        let echoes = Hashtbl.create 8 in
+        let step ~round ~inbox =
+          let payloads =
+            List.filter_map
+              (fun (e : Envelope.t) ->
+                match (Envelope.src_party e, Session.unwrap ~sid e.body) with
+                | Some src, Some m -> Some (src, m)
+                | _ -> None)
+              inbox
+          in
+          match round with
+          | 0 -> (
+              match value with
+              | Some v ->
+                  received := Some v;
+                  List.map
+                    (fun e -> { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
+                    (Envelope.to_all ~n ~src:me v)
+              | None -> [])
+          | 1 ->
+              (* Echo what the sender said (or the default if silent). *)
+              if me <> sender then
+                received :=
+                  Some
+                    (match List.assoc_opt sender payloads with Some m -> m | None -> default);
+              let v = Option.value !received ~default in
+              List.map
+                (fun e -> { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
+                (Envelope.to_all ~n ~src:me (Msg.Tag ("echo", v)))
+          | 2 ->
+              List.iter
+                (fun (src, m) ->
+                  match m with
+                  | Msg.Tag ("echo", v) -> Hashtbl.replace echoes src v
+                  | _ -> ())
+                payloads;
+              []
+          | _ -> []
+        in
+        let result () =
+          (* Majority over all n echo slots, absentees counted as default. *)
+          let counts = Hashtbl.create 8 in
+          for src = 0 to n - 1 do
+            let v = match Hashtbl.find_opt echoes src with Some v -> v | None -> default in
+            let key = Msg.serialize v in
+            let c = match Hashtbl.find_opt counts key with Some (c, _) -> c | None -> 0 in
+            Hashtbl.replace counts key (c + 1, v)
+          done;
+          let best = ref (0, default) in
+          Hashtbl.iter (fun _ (c, v) -> if c > fst !best then best := (c, v)) counts;
+          snd !best
+        in
+        { Session.step; result });
+  }

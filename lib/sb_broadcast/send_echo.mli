@@ -1,0 +1,18 @@
+(** Two-round send-and-echo broadcast (crusader-style).
+
+    Local round 0: the sender sends its value to everyone. Local round
+    1: every party echoes the value it received to everyone. At local
+    round 2 each party outputs the majority of the echoes (missing or
+    malformed echoes count as the default value 0, per the paper's
+    footnote 2).
+
+    With an honest sender this is consistent and correct against any
+    adversary (the direct copy from the sender outweighs lies as long
+    as a majority is honest and echoes faithfully). With a corrupted
+    sender, honest parties still agree whenever a clear majority echoes
+    the same value; the parallel-broadcast protocols built on top only
+    need the honest-sender guarantee plus graceful degradation, which
+    tests pin down. It is the cheapest substrate and the default for
+    the naive sequential protocol of §3.2. *)
+
+val scheme : Session.scheme

@@ -1,0 +1,30 @@
+type t = {
+  step : round:int -> inbox:Sb_sim.Envelope.t list -> Sb_sim.Envelope.t list;
+  result : unit -> Sb_sim.Msg.t;
+}
+
+type scheme = {
+  scheme_name : string;
+  rounds : Sb_sim.Ctx.t -> int;
+  create :
+    Sb_sim.Ctx.t ->
+    rng:Sb_util.Rng.t ->
+    sid:string ->
+    sender:int ->
+    me:int ->
+    value:Sb_sim.Msg.t option ->
+    t;
+}
+
+let tag sid = "bc:" ^ sid
+let wrap ~sid m = Sb_sim.Msg.Tag (tag sid, m)
+
+let unwrap ~sid = function
+  | Sb_sim.Msg.Tag (t, m) when String.equal t (tag sid) -> Some m
+  | _ -> None
+
+let inbox_for ~sid envs =
+  List.filter
+    (fun (e : Sb_sim.Envelope.t) ->
+      match e.body with Sb_sim.Msg.Tag (t, _) -> String.equal t (tag sid) | _ -> false)
+    envs

@@ -1,0 +1,71 @@
+type backend = Hash | Ideal
+type commitment = string
+type opening = { value : string; nonce : string }
+
+type entry = Bound of string | Placeholder
+
+type scheme = {
+  backend : backend;
+  k : int;
+  registry : (commitment, entry) Hashtbl.t;
+  (* Hash backend: record of every (value, nonce) committed through this
+     scheme, keyed by digest — the random-oracle transcript. *)
+}
+
+let create ?(k = 16) backend = { backend; k; registry = Hashtbl.create 64 }
+let backend s = s.backend
+let domain_tag = "simbcast.commit.v1:"
+let hash_of value nonce = Sha256.digest (domain_tag ^ value ^ "\x00" ^ nonce)
+
+let fresh_handle s rng =
+  (* 8 extra bytes of per-scheme counter-free entropy keep collisions
+     out of reach even across splits of the same seed. *)
+  let rec go () =
+    let h = "ideal:" ^ Sha256.to_hex (Sb_util.Rng.bytes rng (s.k + 8)) in
+    if Hashtbl.mem s.registry h then go () else h
+  in
+  go ()
+
+let commit s rng value =
+  let nonce = Sb_util.Rng.bytes rng s.k in
+  match s.backend with
+  | Hash ->
+      let c = hash_of value nonce in
+      Hashtbl.replace s.registry c (Bound value);
+      (c, { value; nonce })
+  | Ideal ->
+      let c = fresh_handle s rng in
+      Hashtbl.replace s.registry c (Bound value);
+      (c, { value; nonce })
+
+let verify s c (o : opening) =
+  match s.backend with
+  | Hash -> String.equal c (hash_of o.value o.nonce)
+  | Ideal -> (
+      match Hashtbl.find_opt s.registry c with
+      | Some (Bound v) -> String.equal v o.value
+      | Some Placeholder | None -> false)
+
+let extract s c =
+  match Hashtbl.find_opt s.registry c with
+  | Some (Bound v) -> Some v
+  | Some Placeholder | None -> None
+
+let commit_placeholder s rng =
+  match s.backend with
+  | Hash -> invalid_arg "Commit.commit_placeholder: Hash backend is not equivocable"
+  | Ideal ->
+      let c = fresh_handle s rng in
+      Hashtbl.replace s.registry c Placeholder;
+      c
+
+let equivocate s c value =
+  match s.backend with
+  | Hash -> invalid_arg "Commit.equivocate: Hash backend is not equivocable"
+  | Ideal -> (
+      match Hashtbl.find_opt s.registry c with
+      | Some Placeholder ->
+          Hashtbl.replace s.registry c (Bound value);
+          { value; nonce = "" }
+      | Some (Bound _) -> invalid_arg "Commit.equivocate: handle already bound"
+      | None -> invalid_arg "Commit.equivocate: unknown handle")

@@ -1,0 +1,28 @@
+type commitment = Modgroup.elt array
+
+let commit f ~threshold =
+  let coeffs = Poly.coeffs f in
+  assert (Array.length coeffs <= threshold + 1);
+  Array.init (threshold + 1) (fun j ->
+      if j < Array.length coeffs then Modgroup.commit_g coeffs.(j)
+      else Modgroup.commit_g Field.zero)
+
+let expected_share_commitment c index =
+  (* Π_j C_j^{x^j} at x = index + 1, Horner-style in the exponent:
+     acc = C_t, then acc = acc^x * C_{t-1}, ... *)
+  let x = Field.to_int (Shamir.eval_point index) in
+  let acc = ref Modgroup.one in
+  for j = Array.length c - 1 downto 0 do
+    acc := Modgroup.mul (Modgroup.pow_int !acc x) c.(j)
+  done;
+  !acc
+
+let verify_share c (s : Shamir.share) =
+  Modgroup.equal (Modgroup.commit_g s.value) (expected_share_commitment c s.index)
+
+let verify_secret c secret =
+  Array.length c > 0 && Modgroup.equal (Modgroup.commit_g secret) c.(0)
+
+let deal rng ~threshold ~parties ~secret =
+  let shares, f = Shamir.share rng ~threshold ~parties ~secret in
+  (shares, commit f ~threshold)

@@ -1,0 +1,40 @@
+(** Feldman verifiable secret sharing.
+
+    The dealer publishes commitments C_j = g^{a_j} to the coefficients
+    of its Shamir polynomial f(X) = Σ a_j X^j; party i can then check
+    its share s_i against the public commitments:
+
+      g^{s_i} =? Π_j C_j^{(i+1)^j}.
+
+    A dealer that passes every check is bound to a unique degree-≤t
+    polynomial, hence a unique secret — this binding is what makes the
+    CGMA-style protocol simultaneous: corrupted parties' values are
+    fixed before any honest value is revealed.
+
+    Feldman commitments leak g^{secret}; the protocols here share
+    one-bit secrets *masked* by a random pad shared alongside, so the
+    leak carries no information about the bit (see [sb_protocols.Cgma]). *)
+
+type commitment = Modgroup.elt array
+(** One group element per coefficient, constant term first; length
+    t + 1. *)
+
+val commit : Poly.t -> threshold:int -> commitment
+(** Commit to a dealer polynomial, padding with commitments to zero
+    coefficients up to degree [threshold] so the commitment length does
+    not leak the effective degree. *)
+
+val verify_share : commitment -> Shamir.share -> bool
+(** The party-side consistency check above. *)
+
+val verify_secret : commitment -> Field.t -> bool
+(** [verify_secret c s] checks g^s against the constant-term
+    commitment; used when the dealer later opens the secret itself. *)
+
+val deal :
+  Sb_util.Rng.t ->
+  threshold:int ->
+  parties:int ->
+  secret:Field.t ->
+  Shamir.share array * commitment
+(** Sharing and committing in one step. *)

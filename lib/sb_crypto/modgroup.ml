@@ -1,0 +1,31 @@
+type elt = int
+
+let modulus = 2147483579 (* safe prime: 2 * Field.p + 1 *)
+let order = Field.p
+let () = assert (modulus = (2 * order) + 1)
+let one = 1
+let mul a b = a * b mod modulus
+
+let pow_int h e =
+  assert (e >= 0);
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (e lsr 1)
+  in
+  go one h e
+
+let pow h e = pow_int h (Field.to_int e)
+let g = 4
+let inv h = pow_int h (order - 1) (* h^(q-1) = h^-1 in an order-q group *)
+let equal = Int.equal
+
+let is_member x =
+  (* Members of the order-q subgroup are exactly the x with x^q = 1. *)
+  x >= 1 && x < modulus && pow_int x order = 1
+
+let of_int_exn x = if is_member x then x else invalid_arg "Modgroup.of_int_exn: not a member"
+let to_int x = x
+let commit_g e = pow g e
+let pp fmt x = Format.pp_print_int fmt x

@@ -1,0 +1,49 @@
+type share = { index : int; value : Field.t; blind : Field.t }
+type commitment = Modgroup.elt array
+
+(* 9 = 3^2 is a quadratic residue mod the safe prime, hence a member of
+   the order-q subgroup and (the subgroup having prime order) a
+   generator of it. *)
+let h = Modgroup.of_int_exn 9
+
+let commit_pair a b = Modgroup.mul (Modgroup.commit_g a) (Modgroup.pow h b)
+
+type dealt = { shares : share array; commitment : commitment; blind0 : Field.t }
+
+let deal rng ~threshold ~parties ~secret =
+  let blind0 = Field.random rng in
+  let shares_f, f = Shamir.share rng ~threshold ~parties ~secret in
+  let shares_f', f' = Shamir.share rng ~threshold ~parties ~secret:blind0 in
+  let coeff p j =
+    let c = Poly.coeffs p in
+    if j < Array.length c then c.(j) else Field.zero
+  in
+  let commitment = Array.init (threshold + 1) (fun j -> commit_pair (coeff f j) (coeff f' j)) in
+  let shares =
+    Array.init parties (fun i ->
+        { index = i; value = shares_f.(i).Shamir.value; blind = shares_f'.(i).Shamir.value })
+  in
+  { shares; commitment; blind0 }
+
+let expected_commitment c index =
+  let x = Field.to_int (Shamir.eval_point index) in
+  let acc = ref Modgroup.one in
+  for j = Array.length c - 1 downto 0 do
+    acc := Modgroup.mul (Modgroup.pow_int !acc x) c.(j)
+  done;
+  !acc
+
+let verify_share c s = Modgroup.equal (commit_pair s.value s.blind) (expected_commitment c s.index)
+
+let verify_opening c ~secret ~blind =
+  Array.length c > 0 && Modgroup.equal (commit_pair secret blind) c.(0)
+
+let reconstruct shares =
+  Poly.interpolate_at
+    (List.map (fun s -> (Shamir.eval_point s.index, s.value)) shares)
+    Field.zero
+
+let reconstruct_blind shares =
+  Poly.interpolate_at
+    (List.map (fun s -> (Shamir.eval_point s.index, s.blind)) shares)
+    Field.zero

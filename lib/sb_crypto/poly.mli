@@ -1,0 +1,41 @@
+(** Polynomials over {!Field}, for Shamir secret sharing.
+
+    A polynomial is its coefficient vector, lowest degree first. The
+    zero polynomial is the empty vector; otherwise the leading
+    coefficient is non-zero. *)
+
+type t
+
+val of_coeffs : Field.t array -> t
+(** Normalises (strips trailing zeros). Coefficient 0 is the constant
+    term. *)
+
+val coeffs : t -> Field.t array
+val degree : t -> int
+(** Degree of the zero polynomial is -1. *)
+
+val zero : t
+val constant : Field.t -> t
+val eval : t -> Field.t -> Field.t
+(** Horner evaluation. *)
+
+val random : Sb_util.Rng.t -> degree:int -> constant:Field.t -> t
+(** Uniform polynomial of degree at most [degree] with the prescribed
+    constant term — exactly the dealer polynomial of Shamir sharing. *)
+
+val add : t -> t -> t
+val mul : t -> t -> t
+val scale : Field.t -> t -> t
+
+val interpolate : (Field.t * Field.t) list -> t
+(** Lagrange interpolation through distinct points; the result has
+    degree < number of points. Raises [Invalid_argument] on duplicate
+    abscissae. *)
+
+val interpolate_at : (Field.t * Field.t) list -> Field.t -> Field.t
+(** [interpolate_at pts x0] evaluates the interpolating polynomial at
+    [x0] without constructing it (direct Lagrange formula); this is the
+    reconstruction step of Shamir sharing with x0 = 0. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+type scheme = { keys : string array }
+type signature = string
+
+let create rng ~n = { keys = Array.init n (fun _ -> Sb_util.Rng.bytes rng 32) }
+
+let sign s ~signer msg =
+  assert (signer >= 0 && signer < Array.length s.keys);
+  Sha256.digest ("simbcast.sig.v1:" ^ s.keys.(signer) ^ "\x00" ^ msg)
+
+let verify s ~signer msg signature =
+  signer >= 0
+  && signer < Array.length s.keys
+  && String.equal signature (sign s ~signer msg)
+
+let n s = Array.length s.keys

@@ -1,0 +1,20 @@
+(** Ideal signature functionality for authenticated broadcast.
+
+    Dolev–Strong broadcast needs digital signatures that every party can
+    verify and only the owner can produce. We model them as an ideal
+    registry: a [scheme] holds one secret MAC key per party; [sign]
+    computes SHA-256(key_i ‖ msg) and the key never leaves the module,
+    so unforgeability holds by construction rather than by assumption.
+    The simulated adversary signs for corrupted parties through the same
+    interface — which is exactly its power in the real model. *)
+
+type scheme
+type signature = string
+
+val create : Sb_util.Rng.t -> n:int -> scheme
+(** Fresh keys for parties 0 … n−1 (the trusted-setup/PKI step). *)
+
+val sign : scheme -> signer:int -> string -> signature
+val verify : scheme -> signer:int -> string -> signature -> bool
+
+val n : scheme -> int

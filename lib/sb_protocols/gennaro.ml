@@ -1,0 +1,43 @@
+open Sb_sim
+
+let reveal_round = Vss_session.local_rounds (* judgment step doubles as reveal *)
+
+let protocol =
+  {
+    Protocol.name = "gennaro-constant";
+    rounds = (fun _ -> reveal_round + 1);
+    make_functionality = None;
+    make_party =
+      (fun ctx ~rng ~id ~input ->
+        let n = ctx.Ctx.n in
+        let sessions =
+          Array.init n (fun dealer ->
+              let secret =
+                if dealer = id then Some (Wire.field_of_bit (Msg.to_bit_exn input)) else None
+              in
+              Vss_session.create ctx ~rng:(Sb_util.Rng.split rng) ~dealer ~me:id ~secret)
+        in
+        let all_step ~round ~inbox =
+          List.concat
+            (List.init n (fun d -> Vss_session.step sessions.(d) ~round ~inbox))
+        in
+        let step ~round ~inbox =
+          let msgs = all_step ~round ~inbox in
+          if round = reveal_round then
+            (* Judgments just ran (local round 3); open everything. *)
+            msgs @ List.concat (List.init n (fun d -> Vss_session.reveal_msgs sessions.(d)))
+          else if round = reveal_round + 1 then begin
+            Array.iter (fun s -> Vss_session.collect_reveals s inbox) sessions;
+            msgs
+          end
+          else msgs
+        in
+        let output () =
+          Msg.bits
+            (List.init n (fun d ->
+                 match Vss_session.secret sessions.(d) with
+                 | Some s -> Wire.bit_of_field s
+                 | None -> false))
+        in
+        { Party.step; output });
+  }

@@ -1,0 +1,20 @@
+(** Gennaro-style constant-round simultaneous broadcast (after
+    Gennaro, IEEE TPDS 2000): all parties VSS their input in parallel
+    on the broadcast channel, then reconstruct simultaneously.
+
+    Rounds (independent of n): deal ‖ … ‖ deal, complain, respond,
+    reveal — 4 communication rounds. The same recoverable-commitment
+    argument as in {!Cgma} applies, just with all dealings concurrent;
+    the rushing adversary sees honest commitments before choosing the
+    corrupted parties' own dealings, but perfect hiding makes that
+    view independent of the honest bits.
+
+    This protocol is the paper's "most efficient" reference point; the
+    paper's Lemma 6.4 does NOT say this protocol is weak — it says the
+    *definition* [12] it was proven under is weak (see {!Pi_g} for the
+    witness). Requires t < n/2. *)
+
+val protocol : Sb_sim.Protocol.t
+
+val reveal_round : int
+(** Network round of the simultaneous reveal (3). *)

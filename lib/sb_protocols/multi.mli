@@ -1,0 +1,24 @@
+(** Multi-bit simultaneous broadcast from any single-bit protocol.
+
+    [wrap ~bits base] runs [bits] independent instances of [base]
+    concurrently — instance j carries bit j of every party's value —
+    by namespacing every envelope body with [Tag ("inst:j", …)], so
+    the instances cannot interfere even though the base protocol uses
+    fixed wire tags. Because the instances are concurrent, all bits of
+    all values reach their commit point before any bit is revealed:
+    multi-bit values stay simultaneous (a sequential composition would
+    let an adversary adapt its high bits to the other parties'
+    already-revealed low bits).
+
+    Inputs are [Msg.Int v] with 0 <= v < 2^bits; outputs are
+    [Msg.List] of n [Msg.Int] announced values.
+
+    The base protocol must not use a trusted functionality (raises
+    [Invalid_argument] otherwise — functionality traffic cannot be
+    namespaced from outside). *)
+
+val wrap : bits:int -> Sb_sim.Protocol.t -> Sb_sim.Protocol.t
+
+val instance_tag : int -> string
+(** Wire tag of instance [j]; exposed for adversaries that speak the
+    multi-instance format. *)

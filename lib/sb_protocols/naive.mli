@@ -1,0 +1,17 @@
+(** The naive parallel-broadcast protocols of §3.2 — consistent and
+    correct, but with NO independence guarantee. They exist to be
+    attacked: the rushing echo adversary against them is the paper's
+    canonical counterexample.
+
+    - [sequential]: party i broadcasts its bit (on the broadcast
+      channel) in round i; n rounds. A corrupted late sender announces
+      whatever it heard earlier.
+    - [concurrent]: everyone broadcasts in round 0; one round. Rushing
+      still lets corrupted parties pick their value after reading the
+      honest round-0 broadcasts.
+
+    For the point-to-point instantiations over the Byzantine broadcast
+    substrates, see {!Sb_broadcast.Parallel}. *)
+
+val sequential : Sb_sim.Protocol.t
+val concurrent : Sb_sim.Protocol.t

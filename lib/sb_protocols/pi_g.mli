@@ -1,0 +1,17 @@
+(** Π_G — the "flawed" protocol of Lemma 6.4, the paper's headline
+    separation witness.
+
+    Each party Pᵢ sets the auxiliary bit bᵢ ← 0 and calls the
+    subprotocol Θ ({!Theta}) on (xᵢ, bᵢ); the vector Θ returns is the
+    announced vector. Honest executions are perfect parallel
+    broadcast. But the adversary A* ([core]'s [Adversaries.a_star])
+    corrupts two parties and sets their auxiliary bits to 1, after
+    which the XOR of ALL announced bits is 0 in every execution —
+    while each corrupted party's announced bit, taken alone, stays
+    perfectly uniform and uncorrelated with the honest vector.
+
+    Consequence (Lemma 6.4): Π_G is G-independent under every locally
+    independent distribution, yet fails CR-independence under every
+    non-trivial distribution — uniform included. *)
+
+val protocol : Sb_sim.Protocol.t

@@ -1,0 +1,24 @@
+type entry = {
+  protocol : Sb_sim.Protocol.t;
+  claims_independence : bool;
+  min_honest_fraction : string;
+}
+
+let all =
+  [
+    { protocol = Ideal_sb.protocol; claims_independence = true; min_honest_fraction = "any t < n" };
+    { protocol = Cgma.protocol; claims_independence = true; min_honest_fraction = "t < n/2" };
+    { protocol = Chor_rabin.protocol; claims_independence = true; min_honest_fraction = "t < n/2" };
+    { protocol = Gennaro.protocol; claims_independence = true; min_honest_fraction = "t < n/2" };
+    { protocol = Pi_g.protocol; claims_independence = true; min_honest_fraction = "t < n/2" };
+    { protocol = Naive.sequential; claims_independence = false; min_honest_fraction = "any t < n" };
+    { protocol = Naive.concurrent; claims_independence = false; min_honest_fraction = "any t < n" };
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.protocol.Sb_sim.Protocol.name name) all
+let names = List.map (fun e -> e.protocol.Sb_sim.Protocol.name) all
+
+let simultaneous =
+  List.filter
+    (fun e -> e.claims_independence && e.protocol.Sb_sim.Protocol.name <> "ideal-fsb")
+    all

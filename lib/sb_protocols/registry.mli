@@ -1,0 +1,18 @@
+(** Name-indexed catalogue of every parallel-broadcast protocol in the
+    repository, for experiment sweeps and the CLI. *)
+
+type entry = {
+  protocol : Sb_sim.Protocol.t;
+  claims_independence : bool;
+      (** Whether the literature claims any independence notion for
+          it; the naive compositions claim none. *)
+  min_honest_fraction : string;  (** Informal resilience note. *)
+}
+
+val all : entry list
+val find : string -> entry option
+val names : string list
+
+val simultaneous : entry list
+(** Just the protocols claiming an independence property: CGMA,
+    Chor–Rabin, Gennaro, Π_G (under its own definition), Ideal. *)

@@ -1,0 +1,33 @@
+open Sb_sim
+
+let input_tag = "theta-input"
+let output_tag = "theta-output"
+
+let g ~r v =
+  let n = Array.length v in
+  let flagged = List.filter (fun i -> snd v.(i)) (List.init n Fun.id) in
+  match flagged with
+  | [ l1; l2 ] ->
+      let y = ref false in
+      for i = 0 to n - 1 do
+        if i <> l1 && i <> l2 && fst v.(i) then y := not !y
+      done;
+      Array.init n (fun i ->
+          if i = l1 then r else if i = l2 then r <> !y else fst v.(i))
+  | _ -> Array.map fst v
+
+let make ctx ~rng =
+  Functionality.one_shot ~at_round:0 (fun inbox ->
+      let n = ctx.Ctx.n in
+      let v = Array.make n (false, false) in
+      List.iter
+        (fun (e : Envelope.t) ->
+          match (Envelope.src_party e, e.Envelope.body) with
+          | Some i, Msg.Tag (t, Msg.List [ Msg.Bit x; Msg.Bit b ]) when String.equal t input_tag
+            ->
+              v.(i) <- (x, b)
+          | _ -> ())
+        inbox;
+      let w = g ~r:(Sb_util.Rng.bool rng) v in
+      let out = Msg.Tag (output_tag, Msg.bits (Array.to_list w)) in
+      List.init n (fun i -> Envelope.from_func ~dst:i out))

@@ -1,0 +1,94 @@
+open Sb_sim
+open Sb_crypto
+open Sb_mpc
+
+let circuit ~n =
+  let c = Circuit.create ~n_parties:n in
+  (* Party i's inputs, in declaration order: x_i, b_i, rho_i. *)
+  let xs = Array.make n (Circuit.const c Field.zero) in
+  let bs = Array.make n (Circuit.const c Field.zero) in
+  let rhos = Array.make n (Circuit.const c Field.zero) in
+  for i = 0 to n - 1 do
+    xs.(i) <- Circuit.input c ~party:i;
+    bs.(i) <- Circuit.input c ~party:i;
+    rhos.(i) <- Circuit.input c ~party:i
+  done;
+  (* s = Σ b_i *)
+  let s = Array.fold_left (fun acc b -> Circuit.add c acc b) (Circuit.const c Field.zero) bs in
+  (* flag = Π_{j<=n, j<>2} (s - j) / (2 - j) *)
+  let flag =
+    List.fold_left
+      (fun acc j ->
+        let term =
+          Circuit.scale c
+            (Field.inv (Field.of_int (2 - j)))
+            (Circuit.sub c s (Circuit.const c (Field.of_int j)))
+        in
+        match acc with None -> Some term | Some a -> Some (Circuit.mul c a term))
+      None
+      (List.filter (fun j -> j <> 2) (List.init (n + 1) Fun.id))
+    |> Option.get
+  in
+  (* prefix products of (1 - b_j) and the first-flagged selectors m_i *)
+  let m = Array.make n (Circuit.const c Field.zero) in
+  let prefix = ref (Circuit.bit_not c bs.(0)) in
+  m.(0) <- bs.(0);
+  for i = 1 to n - 1 do
+    m.(i) <- Circuit.mul c bs.(i) !prefix;
+    if i < n - 1 then prefix := Circuit.mul c !prefix (Circuit.bit_not c bs.(i))
+  done;
+  (* second-flagged selectors: sec_i = b_i * (Σ_{j<i} m_j) *)
+  let sec = Array.make n (Circuit.const c Field.zero) in
+  let msum = ref (Circuit.const c Field.zero) in
+  for i = 1 to n - 1 do
+    msum := Circuit.add c !msum m.(i - 1);
+    sec.(i) <- Circuit.mul c bs.(i) !msum
+  done;
+  (* gate the selectors by the |L| = 2 flag *)
+  let u = Array.map (fun mi -> Circuit.mul c flag mi) m in
+  let v = Array.map (fun si -> Circuit.mul c flag si) sec in
+  (* masked values, the leak target y, and the coin r *)
+  let z =
+    Array.init n (fun i ->
+        Circuit.mul c xs.(i)
+          (Circuit.sub c (Circuit.sub c (Circuit.const c Field.one) u.(i)) v.(i)))
+  in
+  let y = Circuit.xor_fold c (Array.to_list z) in
+  let r = Circuit.xor_fold c (Array.to_list rhos) in
+  let ry = Circuit.bit_xor c r y in
+  (* outputs w_i = z_i + u_i*r + v_i*(r xor y) *)
+  for i = 0 to n - 1 do
+    let wi =
+      Circuit.add c z.(i) (Circuit.add c (Circuit.mul c u.(i) r) (Circuit.mul c v.(i) ry))
+    in
+    Circuit.output c wi
+  done;
+  c
+
+let encode_honest ~rng ~id:_ input =
+  let x = match input with Msg.Bit b -> b | _ -> false in
+  [
+    (if x then Field.one else Field.zero);
+    Field.zero;
+    (if Sb_util.Rng.bool rng then Field.one else Field.zero);
+  ]
+
+let decode outs = Msg.bits (List.map (fun v -> Field.equal v Field.one) outs)
+
+let protocol ~n =
+  Bgw.protocol ~name:"pi-g-bgw" ~circuit:(circuit ~n) ~encode:encode_honest ~decode
+
+let a_star_real ~n ~corrupt:(i, j) =
+  assert (i <> j);
+  let p =
+    (* Same protocol, but corrupted parties raise their auxiliary
+       flag: pure input substitution inside the BGW code. *)
+    Bgw.protocol ~name:"pi-g-bgw-flagged" ~circuit:(circuit ~n)
+      ~encode:(fun ~rng ~id input ->
+        match encode_honest ~rng ~id input with
+        | [ x; _; rho ] -> [ x; Field.one; rho ]
+        | other -> other)
+      ~decode
+  in
+  let adv = Adversary.semi_honest p ~corrupt:[ i; j ] in
+  { adv with Adversary.name = "a-star-real" }

@@ -1,0 +1,20 @@
+(** Shared wire-format helpers for the protocol implementations. *)
+
+open Sb_sim
+
+val tagged : tag:string -> Envelope.t list -> (Envelope.endpoint * Msg.t) list
+(** Envelopes in the inbox whose body is [Tag (tag, m)], as
+    (sender, payload). *)
+
+val tagged_from_parties : tag:string -> Envelope.t list -> (int * Msg.t) list
+(** Same, restricted to party senders. *)
+
+val first_from : tag:string -> src:int -> Envelope.t list -> Msg.t option
+(** The first [tag]-tagged payload sent by party [src] in the inbox,
+    if any. *)
+
+val bit_of_field : Sb_crypto.Field.t -> bool
+(** Field 1 ↦ true; anything else (including garbage a corrupted
+    dealer shared) ↦ false — the paper's footnote-2 default rule. *)
+
+val field_of_bit : bool -> Sb_crypto.Field.t

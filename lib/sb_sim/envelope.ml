@@ -1,0 +1,28 @@
+type endpoint = Party of int | Func | All
+
+type t = { src : endpoint; dst : endpoint; body : Msg.t }
+
+let make ~src ~dst body = { src = Party src; dst = Party dst; body }
+let broadcast ~src body = { src = Party src; dst = All; body }
+let to_func ~src body = { src = Party src; dst = Func; body }
+let from_func ~dst body = { src = Func; dst = Party dst; body }
+let to_all ~n ~src body = List.init n (fun dst -> make ~src ~dst body)
+let to_others ~n ~src body =
+  List.filter_map (fun dst -> if dst = src then None else Some (make ~src ~dst body)) (List.init n Fun.id)
+
+let src_party e = match e.src with Party i -> Some i | Func | All -> None
+let dst_party e = match e.dst with Party i -> Some i | Func | All -> None
+let is_broadcast e = e.dst = All
+let is_func_bound e = e.dst = Func
+let is_from_func e = e.src = Func
+
+let delivered_to e i =
+  match e.dst with Party j -> j = i | All -> true | Func -> false
+
+let pp_endpoint fmt = function
+  | Party i -> Format.fprintf fmt "P%d" i
+  | Func -> Format.pp_print_string fmt "F"
+  | All -> Format.pp_print_string fmt "*"
+
+let pp fmt e =
+  Format.fprintf fmt "%a->%a: %a" pp_endpoint e.src pp_endpoint e.dst Msg.pp e.body

@@ -1,0 +1,44 @@
+(** A message in flight: sender, destination, body.
+
+    Senders and destinations are either parties (by id), the trusted
+    functionality slot, or — for destinations only — [All]: the
+    regular (non-simultaneous) broadcast channel that the paper's
+    model provides (§1, §4.1). A broadcast envelope is delivered
+    identically to every party, so even a corrupted sender cannot
+    equivocate over it; it offers no simultaneity, though: the rushing
+    adversary still reads it before choosing the corrupted parties'
+    same-round traffic.
+
+    The network authenticates senders — a party cannot spoof another's
+    [src] — matching the standard point-to-point model. *)
+
+type endpoint = Party of int | Func | All
+
+type t = { src : endpoint; dst : endpoint; body : Msg.t }
+
+val make : src:int -> dst:int -> Msg.t -> t
+(** Party-to-party. *)
+
+val broadcast : src:int -> Msg.t -> t
+(** One envelope on the broadcast channel. *)
+
+val to_func : src:int -> Msg.t -> t
+val from_func : dst:int -> Msg.t -> t
+
+val to_all : n:int -> src:int -> Msg.t -> t list
+(** One copy to every party, including the sender itself (self-delivery
+    keeps broadcast code uniform). *)
+
+val to_others : n:int -> src:int -> Msg.t -> t list
+
+val src_party : t -> int option
+val dst_party : t -> int option
+val is_broadcast : t -> bool
+val is_func_bound : t -> bool
+val is_from_func : t -> bool
+
+val delivered_to : t -> int -> bool
+(** Whether the envelope reaches party [i]'s inbox: direct address or
+    broadcast. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+type t = { f_step : round:int -> inbox:Envelope.t list -> Envelope.t list }
+
+let none = { f_step = (fun ~round:_ ~inbox:_ -> []) }
+
+let one_shot ~at_round f =
+  {
+    f_step =
+      (fun ~round ~inbox ->
+        if round = at_round then f inbox
+        else begin
+          assert (inbox = []);
+          []
+        end);
+  }

@@ -1,0 +1,20 @@
+(** Trusted-party hook (the "ideal process" of Canetti's framework).
+
+    A functionality receives, at the end of each round, every envelope
+    addressed to [Envelope.Func] that round, and emits envelopes
+    delivered in the next round. Crucially, the network gives the
+    adversary *no rushing* on functionality traffic: party→Func
+    envelopes are invisible to the adversary, and Func→honest envelopes
+    never appear in its view. This is what makes Ideal(f_SB) and the Θ
+    subprotocol of Lemma 6.4 behave as ideal processes. *)
+
+type t = { f_step : round:int -> inbox:Envelope.t list -> Envelope.t list }
+
+val none : t
+(** Absorbs everything, sends nothing. *)
+
+val one_shot :
+  at_round:int -> (Envelope.t list -> Envelope.t list) -> t
+(** A functionality that acts exactly once: at the end of [at_round] it
+    maps the envelopes received that round to replies; all other rounds
+    it is silent (and asserts it receives nothing). *)

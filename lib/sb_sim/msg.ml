@@ -1,0 +1,66 @@
+type t =
+  | Unit
+  | Bit of bool
+  | Int of int
+  | Fe of Sb_crypto.Field.t
+  | Ge of Sb_crypto.Modgroup.elt
+  | Str of string
+  | List of t list
+  | Tag of string * t
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bit x, Bit y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Fe x, Fe y -> Sb_crypto.Field.equal x y
+  | Ge x, Ge y -> Sb_crypto.Modgroup.equal x y
+  | Str x, Str y -> String.equal x y
+  | List x, List y -> List.equal equal x y
+  | Tag (s, x), Tag (r, y) -> String.equal s r && equal x y
+  | (Unit | Bit _ | Int _ | Fe _ | Ge _ | Str _ | List _ | Tag _), _ -> false
+
+let compare = Stdlib.compare
+
+let rec pp fmt = function
+  | Unit -> Format.pp_print_string fmt "()"
+  | Bit b -> Format.pp_print_string fmt (if b then "1" else "0")
+  | Int i -> Format.fprintf fmt "%d" i
+  | Fe f -> Format.fprintf fmt "f%a" Sb_crypto.Field.pp f
+  | Ge g -> Format.fprintf fmt "g%a" Sb_crypto.Modgroup.pp g
+  | Str s -> Format.fprintf fmt "%S" s
+  | List l ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f "; ") pp)
+        l
+  | Tag (s, m) -> Format.fprintf fmt "%s(%a)" s pp m
+
+let to_string m = Format.asprintf "%a" pp m
+let bits l = List (List.map (fun b -> Bit b) l)
+let of_bitvec v = bits (Array.to_list (Sb_util.Bitvec.to_bools v))
+
+let to_bit_exn = function Bit b -> b | m -> invalid_arg ("Msg.to_bit_exn: " ^ to_string m)
+let to_int_exn = function Int i -> i | m -> invalid_arg ("Msg.to_int_exn: " ^ to_string m)
+let to_fe_exn = function Fe f -> f | m -> invalid_arg ("Msg.to_fe_exn: " ^ to_string m)
+let to_str_exn = function Str s -> s | m -> invalid_arg ("Msg.to_str_exn: " ^ to_string m)
+let to_list_exn = function List l -> l | m -> invalid_arg ("Msg.to_list_exn: " ^ to_string m)
+
+let to_bitvec_exn m =
+  Sb_util.Bitvec.of_bools (Array.of_list (List.map to_bit_exn (to_list_exn m)))
+
+let untag_exn tag = function
+  | Tag (s, m) when String.equal s tag -> m
+  | m -> invalid_arg (Printf.sprintf "Msg.untag_exn %s: %s" tag (to_string m))
+
+(* Length-prefixed encoding: injective by construction. *)
+let rec serialize m =
+  let with_len c s = Printf.sprintf "%c%d:%s" c (String.length s) s in
+  match m with
+  | Unit -> "u"
+  | Bit b -> if b then "b1" else "b0"
+  | Int i -> with_len 'i' (string_of_int i)
+  | Fe f -> with_len 'f' (Sb_crypto.Field.to_string f)
+  | Ge g -> with_len 'g' (string_of_int (Sb_crypto.Modgroup.to_int g))
+  | Str s -> with_len 's' s
+  | List l -> with_len 'l' (String.concat "" (List.map (fun x -> with_len 'e' (serialize x)) l))
+  | Tag (s, x) -> with_len 't' (with_len 'n' s ^ serialize x)

@@ -1,0 +1,43 @@
+(** Universal message algebra for the simulated network.
+
+    Every protocol in [sb_protocols] speaks this one type, so the
+    network, the trace, and the adversary interface stay protocol-
+    agnostic while parties still destructure messages with ordinary
+    pattern matching. [Tag] gives each protocol its own namespaced
+    constructors ("share", "commit", "open", …) without a shared
+    variant that every protocol would have to extend. *)
+
+type t =
+  | Unit
+  | Bit of bool
+  | Int of int
+  | Fe of Sb_crypto.Field.t
+  | Ge of Sb_crypto.Modgroup.elt
+  | Str of string
+  | List of t list
+  | Tag of string * t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val bits : bool list -> t
+(** [List [Bit …]] shorthand. *)
+
+val of_bitvec : Sb_util.Bitvec.t -> t
+val to_bitvec_exn : t -> Sb_util.Bitvec.t
+(** Raises [Invalid_argument] unless the message is a list of bits. *)
+
+val to_bit_exn : t -> bool
+val to_int_exn : t -> int
+val to_fe_exn : t -> Sb_crypto.Field.t
+val to_str_exn : t -> string
+val to_list_exn : t -> t list
+
+val untag_exn : string -> t -> t
+(** [untag_exn tag m] strips [Tag (tag, ·)] and raises
+    [Invalid_argument] on anything else. *)
+
+val serialize : t -> string
+(** Injective encoding, used as input to hashing and signatures. *)

@@ -1,0 +1,103 @@
+type result = {
+  outputs : (int * Msg.t) list;
+  adv_output : Msg.t;
+  corrupted : int list;
+  rounds_used : int;
+  p2p_messages : int;
+  trace : Trace.t;
+}
+
+let log_src = Logs.Src.create "sb.network" ~doc:"simulated network round events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~inputs
+    ?(aux = Msg.Unit) () =
+  let n = ctx.n in
+  if Array.length inputs <> n then invalid_arg "Network.run: wrong number of inputs";
+  (* Independent randomness streams, in a fixed order for reproducibility. *)
+  let party_rngs = Array.init n (fun _ -> Sb_util.Rng.split rng) in
+  let adv_rng = Sb_util.Rng.split rng in
+  let func_rng = Sb_util.Rng.split rng in
+  let corrupted = adversary.choose_corrupt ctx ~rng:adv_rng in
+  assert (Sb_util.Subset.is_valid n corrupted);
+  assert (List.length corrupted <= ctx.thresh);
+  let is_corrupt = Array.make n false in
+  List.iter (fun i -> is_corrupt.(i) <- true) corrupted;
+  let honest = List.filter (fun i -> not is_corrupt.(i)) (List.init n Fun.id) in
+  let parties =
+    List.map
+      (fun id -> (id, protocol.make_party ctx ~rng:party_rngs.(id) ~id ~input:inputs.(id)))
+      honest
+  in
+  let functionality =
+    match protocol.make_functionality with
+    | None -> Functionality.none
+    | Some make -> make ctx ~rng:func_rng
+  in
+  let strategy =
+    adversary.init ctx ~rng:adv_rng ~corrupted
+      ~inputs:(List.map (fun i -> (i, inputs.(i))) corrupted)
+      ~aux
+  in
+  let total_rounds = protocol.rounds ctx in
+  let pending = ref [] in
+  (* envelopes to deliver next round *)
+  let trace = ref [] in
+  let deliveries_to id envs = List.filter (fun e -> Envelope.delivered_to e id) envs in
+  for round = 0 to total_rounds do
+    let inbox_all = !pending in
+    let last = round = total_rounds in
+    (* 1. Honest parties step. *)
+    let honest_out =
+      List.concat_map
+        (fun (id, party) ->
+          let out = party.Party.step ~round ~inbox:(deliveries_to id inbox_all) in
+          (* Authenticated channels: an honest party only speaks as itself. *)
+          List.iter (fun e -> assert (Envelope.src_party e = Some id)) out;
+          out)
+        parties
+    in
+    (* 2. Rushing view for the adversary: same-round honest traffic,
+       minus the ideal channel to the functionality. *)
+    let rushed = List.filter (fun e -> not (Envelope.is_func_bound e)) honest_out in
+    let delivered =
+      List.filter (fun e -> List.exists (fun i -> Envelope.delivered_to e i) corrupted) inbox_all
+    in
+    let adv_out_raw = strategy.Adversary.act { round; delivered; rushed } in
+    (* 3. Drop spoofed envelopes. *)
+    let adv_out =
+      List.filter
+        (fun e ->
+          match Envelope.src_party e with Some i -> is_corrupt.(i) | None -> false)
+        adv_out_raw
+    in
+    let all_out = if last then [] else honest_out @ adv_out in
+    (* 4. Functionality consumes Func-bound traffic of this round. *)
+    let func_in = List.filter Envelope.is_func_bound all_out in
+    let func_out = functionality.Functionality.f_step ~round ~inbox:func_in in
+    List.iter (fun e -> assert (Envelope.is_from_func e)) func_out;
+    Log.debug (fun m ->
+        m "%s round %d: honest=%d adv=%d func_in=%d func_out=%d%s" protocol.name round
+          (List.length honest_out) (List.length adv_out) (List.length func_in)
+          (List.length func_out)
+          (if last then " (final)" else ""));
+    (* 5. Queue next-round deliveries. *)
+    pending := List.filter (fun e -> not (Envelope.is_func_bound e)) all_out @ func_out;
+    if not last then
+      trace :=
+        { Trace.round; honest_sent = honest_out; adv_sent = adv_out; func_sent = func_out }
+        :: !trace
+  done;
+  let trace = List.rev !trace in
+  {
+    outputs = List.map (fun (id, party) -> (id, party.Party.output ())) parties;
+    adv_output = strategy.Adversary.adv_output ();
+    corrupted;
+    rounds_used = total_rounds;
+    p2p_messages = Trace.p2p_message_count trace;
+    trace;
+  }
+
+let honest_run ctx ~rng ~protocol ~inputs =
+  run ctx ~rng ~protocol ~adversary:(Adversary.passive protocol) ~inputs ()

@@ -1,0 +1,50 @@
+(** The partially synchronous network of §3.1, executable.
+
+    Each round proceeds in a fixed order that encodes the model:
+
+    + honest parties step on the envelopes delivered this round and
+      produce their outgoing envelopes;
+    + the adversary observes (a) everything just delivered to corrupted
+      parties and (b) the honest parties' outgoing traffic of this very
+      round — rushing — except functionality-bound envelopes, which
+      travel on the ideal channel;
+    + the adversary emits the corrupted parties' envelopes; anything
+      with a non-corrupted source is dropped (authenticated channels);
+    + the functionality consumes all Func-addressed envelopes of the
+      round and produces replies;
+    + everything is queued for delivery at the start of the next round.
+
+    After the protocol's declared number of rounds, one final
+    delivery-only step runs (outgoing messages are discarded), then
+    outputs are collected. *)
+
+type result = {
+  outputs : (int * Msg.t) list;  (** honest parties only, by id *)
+  adv_output : Msg.t;
+  corrupted : int list;
+  rounds_used : int;
+  p2p_messages : int;
+  trace : Trace.t;
+}
+
+val run :
+  Ctx.t ->
+  rng:Sb_util.Rng.t ->
+  protocol:Protocol.t ->
+  adversary:Adversary.t ->
+  inputs:Msg.t array ->
+  ?aux:Msg.t ->
+  unit ->
+  result
+(** [inputs] must have length [ctx.n]. The given [rng] is split into
+    independent streams for each party, the adversary, and the
+    functionality, so runs are reproducible from one seed. *)
+
+val honest_run :
+  Ctx.t -> rng:Sb_util.Rng.t -> protocol:Protocol.t -> inputs:Msg.t array -> result
+(** [run] with the passive adversary. *)
+
+val log_src : Logs.src
+(** Per-round debug events ("sb.network"); enable with
+    [Logs.Src.set_level log_src (Some Logs.Debug)] or the CLI's
+    [--verbose]. *)

@@ -1,0 +1,6 @@
+type t = {
+  step : round:int -> inbox:Envelope.t list -> Envelope.t list;
+  output : unit -> Msg.t;
+}
+
+let silent ~output = { step = (fun ~round:_ ~inbox:_ -> []); output = (fun () -> output) }

@@ -1,0 +1,18 @@
+(** An honest party is a stateful step machine.
+
+    The network calls [step] once per round with the envelopes delivered
+    this round (sent in the previous round) and sends out whatever the
+    party returns. After the final round's [step] (whose return value is
+    discarded — there is no round left to deliver it in), [output] is
+    read once.
+
+    Parties are ordinary closures over mutable state; constructors live
+    with each protocol. *)
+
+type t = {
+  step : round:int -> inbox:Envelope.t list -> Envelope.t list;
+  output : unit -> Msg.t;
+}
+
+val silent : output:Msg.t -> t
+(** A party that never sends and outputs a constant; useful in tests. *)

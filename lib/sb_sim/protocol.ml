@@ -1,0 +1,8 @@
+type t = {
+  name : string;
+  rounds : Ctx.t -> int;
+  make_functionality : (Ctx.t -> rng:Sb_util.Rng.t -> Functionality.t) option;
+  make_party : Ctx.t -> rng:Sb_util.Rng.t -> id:int -> input:Msg.t -> Party.t;
+}
+
+let with_name name p = { p with name }

@@ -1,0 +1,41 @@
+type round_record = {
+  round : int;
+  honest_sent : Envelope.t list;
+  adv_sent : Envelope.t list;
+  func_sent : Envelope.t list;
+}
+
+type t = round_record list
+
+let p2p envs =
+  List.filter (fun e -> not (Envelope.is_func_bound e || Envelope.is_broadcast e)) envs
+
+let p2p_message_count trace =
+  List.fold_left
+    (fun acc r -> acc + List.length (p2p r.honest_sent) + List.length (p2p r.adv_sent))
+    0 trace
+
+let bcasts envs = List.filter Envelope.is_broadcast envs
+
+let broadcast_count trace =
+  List.fold_left
+    (fun acc r -> acc + List.length (bcasts r.honest_sent) + List.length (bcasts r.adv_sent))
+    0 trace
+
+let total_transmissions trace = p2p_message_count trace + broadcast_count trace
+
+let messages_from trace src =
+  List.fold_left
+    (fun acc r ->
+      acc
+      + List.length
+          (List.filter (fun e -> Envelope.src_party e = Some src) (r.honest_sent @ r.adv_sent)))
+    0 trace
+
+let pp fmt trace =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "round %d:@." r.round;
+      List.iter (fun e -> Format.fprintf fmt "  %a@." Envelope.pp e)
+        (r.honest_sent @ r.adv_sent @ r.func_sent))
+    trace

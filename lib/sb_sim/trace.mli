@@ -1,0 +1,30 @@
+(** Execution transcript: everything that crossed the network.
+
+    One record per round, split by origin. Experiments use traces for
+    message-complexity counts (E8) and tests use them to assert rushing
+    and visibility rules. *)
+
+type round_record = {
+  round : int;
+  honest_sent : Envelope.t list;
+  adv_sent : Envelope.t list;  (** after filtering to corrupted sources *)
+  func_sent : Envelope.t list;
+}
+
+type t = round_record list
+(** In round order. *)
+
+val p2p_message_count : t -> int
+(** Party-to-party envelopes (functionality and broadcast traffic
+    excluded). *)
+
+val broadcast_count : t -> int
+(** Envelopes sent on the broadcast channel. *)
+
+val total_transmissions : t -> int
+(** p2p + broadcast: the message-complexity figure reported by
+    experiment E8 (one broadcast = one channel use, as in the model
+    the protocols are written for). *)
+
+val messages_from : t -> int -> int
+val pp : Format.formatter -> t -> unit

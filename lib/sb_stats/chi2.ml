@@ -1,0 +1,91 @@
+type result = { statistic : float; dof : int; p_value : float }
+
+(* Regularised incomplete gamma, after Numerical Recipes: series
+   expansion for x < a + 1, continued fraction otherwise. *)
+let gammln x =
+  let cof =
+    [| 76.18009172947146; -86.50532032941677; 24.01409824083091; -1.231739572450155;
+       0.1208650973866179e-2; -0.5395239384953e-5 |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. Float.log tmp) in
+  let ser = ref 1.000000000190015 in
+  Array.iter
+    (fun c ->
+      y := !y +. 1.0;
+      ser := !ser +. (c /. !y))
+    cof;
+  -.tmp +. Float.log (2.5066282746310005 *. !ser /. x)
+
+let gser a x =
+  (* lower regularised gamma P(a,x) by series *)
+  let gln = gammln a in
+  if x <= 0.0 then 0.0
+  else begin
+    let ap = ref a in
+    let sum = ref (1.0 /. a) in
+    let del = ref !sum in
+    (try
+       for _ = 1 to 200 do
+         ap := !ap +. 1.0;
+         del := !del *. x /. !ap;
+         sum := !sum +. !del;
+         if Float.abs !del < Float.abs !sum *. 3e-12 then raise Exit
+       done
+     with Exit -> ());
+    !sum *. Float.exp (-.x +. (a *. Float.log x) -. gln)
+  end
+
+let gcf a x =
+  (* upper regularised gamma Q(a,x) by continued fraction *)
+  let gln = gammln a in
+  let fpmin = 1e-300 in
+  let b = ref (x +. 1.0 -. a) in
+  let c = ref (1.0 /. fpmin) in
+  let d = ref (1.0 /. !b) in
+  let h = ref !d in
+  (try
+     for i = 1 to 200 do
+       let an = -.float_of_int i *. (float_of_int i -. a) in
+       b := !b +. 2.0;
+       d := (an *. !d) +. !b;
+       if Float.abs !d < fpmin then d := fpmin;
+       c := !b +. (an /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1.0 /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if Float.abs (del -. 1.0) < 3e-12 then raise Exit
+     done
+   with Exit -> ());
+  !h *. Float.exp (-.x +. (a *. Float.log x) -. gln)
+
+let survival x k =
+  if x <= 0.0 then 1.0
+  else begin
+    let a = float_of_int k /. 2.0 and hx = x /. 2.0 in
+    if hx < a +. 1.0 then 1.0 -. gser a hx else gcf a hx
+  end
+
+let homogeneity groups =
+  let g = List.length groups in
+  if g < 2 then invalid_arg "Chi2.homogeneity: need at least 2 groups";
+  List.iter
+    (fun (s, t) -> if t <= 0 || s < 0 || s > t then invalid_arg "Chi2.homogeneity: bad group")
+    groups;
+  let total_s = List.fold_left (fun acc (s, _) -> acc + s) 0 groups in
+  let total_t = List.fold_left (fun acc (_, t) -> acc + t) 0 groups in
+  let p = float_of_int total_s /. float_of_int total_t in
+  let statistic =
+    if p <= 0.0 || p >= 1.0 then 0.0
+    else
+      List.fold_left
+        (fun acc (s, t) ->
+          let t = float_of_int t and s = float_of_int s in
+          let e1 = t *. p and e0 = t *. (1.0 -. p) in
+          acc +. (((s -. e1) ** 2.0) /. e1) +. (((t -. s -. e0) ** 2.0) /. e0))
+        0.0 groups
+  in
+  let dof = g - 1 in
+  { statistic; dof; p_value = survival statistic dof }

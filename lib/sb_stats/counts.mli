@@ -1,0 +1,37 @@
+(** Counting helpers for empirical distributions over {0,1}^n and
+    generic event bookkeeping used by the testers. *)
+
+type table
+(** Counts indexed by bit-vector value. *)
+
+val create : int -> table
+(** [create n] for vectors of length n (n <= 20). *)
+
+val add : table -> Sb_util.Bitvec.t -> unit
+val total : table -> int
+val count : table -> Sb_util.Bitvec.t -> int
+val count_idx : table -> int -> int
+
+val empirical_tvd : table -> table -> float
+(** Plug-in total-variation distance between two empirical
+    distributions (both normalised by their own totals). Biased
+    upwards for small samples — callers compare against a same-size
+    self-distance baseline rather than against zero. *)
+
+val iter : table -> (int -> int -> unit) -> unit
+(** [iter t f] calls [f idx count] for every index. *)
+
+type event
+(** Streaming joint/marginal counter for a pair of events (A, B):
+    feeds the CR correlation-gap estimator. *)
+
+val event_pair : unit -> event
+val record : event -> a:bool -> b:bool -> unit
+
+val gap : event -> Estimate.interval
+(** Conservative interval for |P(A∧B) − P(A)P(B)|. *)
+
+val count_a : event -> int
+val count_b : event -> int
+val count_ab : event -> int
+val trials : event -> int

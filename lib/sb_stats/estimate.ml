@@ -1,0 +1,35 @@
+type interval = { point : float; lo : float; hi : float; trials : int }
+
+let wilson ?(z = 2.576) ~successes trials =
+  if trials <= 0 then invalid_arg "Estimate.wilson: no trials";
+  if successes < 0 || successes > trials then invalid_arg "Estimate.wilson: bad successes";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half = z *. Float.sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom in
+  { point = p; lo = Float.max 0.0 (centre -. half); hi = Float.min 1.0 (centre +. half); trials }
+
+let interval_abs_diff a b =
+  let point = Float.abs (a.point -. b.point) in
+  (* p - q ranges over [a.lo - b.hi, a.hi - b.lo]; |p - q| over: *)
+  let dlo = a.lo -. b.hi and dhi = a.hi -. b.lo in
+  let lo = if dlo <= 0.0 && dhi >= 0.0 then 0.0 else Float.min (Float.abs dlo) (Float.abs dhi) in
+  let hi = Float.max (Float.abs dlo) (Float.abs dhi) in
+  { point; lo; hi; trials = min a.trials b.trials }
+
+let correlation_gap ~joint ~left ~right =
+  (* Product interval for P(A)·P(B): all bounds non-negative, so the
+     product of bounds bounds the product. *)
+  let prod =
+    {
+      point = left.point *. right.point;
+      lo = left.lo *. right.lo;
+      hi = left.hi *. right.hi;
+      trials = min left.trials right.trials;
+    }
+  in
+  interval_abs_diff joint prod
+
+let pp fmt i = Format.fprintf fmt "%.4f [%.4f, %.4f] (n=%d)" i.point i.lo i.hi i.trials

@@ -1,0 +1,25 @@
+(** Proportion estimation with confidence intervals.
+
+    Every independence tester in [core] reduces to comparing estimated
+    probabilities of events over repeated protocol executions. The
+    intervals here are Wilson score intervals (well-behaved at extreme
+    proportions, unlike the normal approximation), at 99% confidence by
+    default (z = 2.576). *)
+
+type interval = { point : float; lo : float; hi : float; trials : int }
+
+val wilson : ?z:float -> successes:int -> int -> interval
+(** [wilson ~successes trials]. Requires trials > 0 and
+    0 <= successes <= trials. *)
+
+val interval_abs_diff : interval -> interval -> interval
+(** Conservative interval for |p − q| given intervals for p and q:
+    point = |p̂ − q̂|, bounds from interval arithmetic (clamped at 0). *)
+
+val correlation_gap :
+  joint:interval -> left:interval -> right:interval -> interval
+(** Conservative interval for |P(A∧B) − P(A)·P(B)| — the quantity in
+    the CR-independence definition — from intervals for the three
+    probabilities. *)
+
+val pp : Format.formatter -> interval -> unit

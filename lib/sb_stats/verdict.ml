@@ -1,0 +1,23 @@
+type t = Pass | Fail | Inconclusive
+
+let of_gap ?(pass_below = 0.08) ?(fail_above = 0.15) (i : Estimate.interval) =
+  if i.Estimate.hi < pass_below then Pass
+  else if i.Estimate.lo > fail_above then Fail
+  else Inconclusive
+
+let all_pass verdicts =
+  if List.exists (fun v -> v = Fail) verdicts then Fail
+  else if List.for_all (fun v -> v = Pass) verdicts then Pass
+  else Inconclusive
+
+let any_fail = all_pass
+
+let to_string = function Pass -> "PASS" | Fail -> "FAIL" | Inconclusive -> "INCONCLUSIVE"
+
+let to_polar = function
+  | Pass -> `Pass
+  | Fail -> `Fail
+  | Inconclusive -> `Inconclusive
+
+let equal a b = a = b
+let pp fmt v = Format.pp_print_string fmt (to_string v)

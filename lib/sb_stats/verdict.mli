@@ -1,0 +1,37 @@
+(** Three-way statistical verdicts.
+
+    A tester estimates a gap that the definition requires to be
+    negligible. With finite samples we distinguish:
+
+    - [Pass] — the whole confidence interval sits below [pass_below]:
+      the gap is statistically indistinguishable from negligible;
+    - [Fail] — the whole interval sits above [fail_above]: the gap is
+      bounded away from zero with high confidence;
+    - [Inconclusive] — anything else (typically: not enough samples).
+
+    Keeping Pass and "failed to reject" apart matters because the
+    paper's separations predict *constant* gaps (1/4 and up), far above
+    any sampling noise at the Ns used. *)
+
+type t = Pass | Fail | Inconclusive
+
+val of_gap : ?pass_below:float -> ?fail_above:float -> Estimate.interval -> t
+(** Defaults: [pass_below] = 0.08, [fail_above] = 0.15 — far below the
+    constant gaps (1/4 and up) the paper's separations predict, and
+    comfortably above the estimator noise at the default sample
+    budgets. *)
+
+val all_pass : t list -> t
+(** [Pass] iff every element passes; [Fail] if any fails;
+    [Inconclusive] otherwise. *)
+
+val any_fail : t list -> t
+(** Dual view for falsification experiments: [Fail] if any element
+    fails (a witness was found), [Pass] if all pass, else
+    [Inconclusive]. Identical to {!all_pass}; provided for readable
+    call sites. *)
+
+val to_string : t -> string
+val to_polar : t -> [ `Pass | `Fail | `Inconclusive ]
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type t = bool array
+(* Invariant: never mutated after construction; every constructor copies. *)
+
+let length = Array.length
+let of_bools a = Array.copy a
+let to_bools v = Array.copy v
+
+let of_int n v =
+  assert (n >= 0 && n <= 62);
+  Array.init n (fun i -> (v lsr i) land 1 = 1)
+
+let to_int v =
+  assert (Array.length v <= 62);
+  let r = ref 0 in
+  for i = Array.length v - 1 downto 0 do
+    r := (!r lsl 1) lor (if v.(i) then 1 else 0)
+  done;
+  !r
+
+let zero n = Array.make n false
+let get v i = v.(i)
+
+let set v i b =
+  let w = Array.copy v in
+  w.(i) <- b;
+  w
+
+let init = Array.init
+let random rng n = Array.init n (fun _ -> Rng.bool rng)
+let proj v s = Array.of_list (List.map (fun i -> v.(i)) s)
+
+let combine v s z =
+  assert (List.length s = Array.length z);
+  let w = Array.copy v in
+  List.iteri (fun pos i -> w.(i) <- z.(pos)) s;
+  w
+
+let parity v = Array.fold_left (fun acc b -> if b then not acc else acc) false v
+
+let parity_except v idx =
+  let acc = ref false in
+  for i = 0 to Array.length v - 1 do
+    if i <> idx && v.(i) then acc := not !acc
+  done;
+  !acc
+
+let popcount v = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v
+let equal = ( = )
+let compare = Stdlib.compare
+let to_string v = String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let of_string s =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | c -> invalid_arg (Printf.sprintf "Bitvec.of_string: bad char %c" c))
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let all n =
+  assert (n <= 20);
+  List.init (1 lsl n) (fun v -> of_int n v)
+
+let map2 f a b =
+  assert (Array.length a = Array.length b);
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let xor = map2 ( <> )

@@ -1,0 +1,63 @@
+(** Fixed-length bit vectors over {0,1}^n.
+
+    The paper works throughout with n-dimensional bit vectors: party
+    inputs [x], announced values [W], and the index-set projections
+    [x_S], [w_G ⊔ z_B] of its Section 2. This module is that notation,
+    executable. Vectors are immutable. *)
+
+type t
+
+val length : t -> int
+
+val of_bools : bool array -> t
+(** Copies the array. *)
+
+val to_bools : t -> bool array
+(** Fresh array. *)
+
+val of_int : int -> int -> t
+(** [of_int n v] is the n-bit vector whose i-th coordinate is bit i of
+    [v] (little-endian: coordinate 0 = least significant bit).
+    Requires [0 <= n <= 62]. *)
+
+val to_int : t -> int
+(** Inverse of [of_int]; requires [length <= 62]. *)
+
+val zero : int -> t
+(** All-zeros vector of the given length. *)
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> t
+(** Functional update. *)
+
+val init : int -> (int -> bool) -> t
+val random : Rng.t -> int -> t
+
+val proj : t -> int list -> bool array
+(** [proj x s] is x_S: the coordinates of [x] whose indices lie in [s],
+    in the order given by [s]. *)
+
+val combine : t -> int list -> bool array -> t
+(** [combine x s z] is [x] with the coordinates listed in [s] replaced
+    by the entries of [z] (the paper's w_G ⊔ z_B, with [x] supplying the
+    complement of [s]). [z] must have the same length as [s]. *)
+
+val parity : t -> bool
+(** XOR of all coordinates. *)
+
+val parity_except : t -> int -> bool
+(** XOR of all coordinates other than the given index. *)
+
+val popcount : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+(** E.g. "01101"; coordinate 0 printed first. *)
+
+val of_string : string -> t
+val pp : Format.formatter -> t -> unit
+val all : int -> t list
+(** All 2^n vectors of length [n], in [to_int] order. Requires n <= 20. *)
+
+val map2 : (bool -> bool -> bool) -> t -> t -> t
+val xor : t -> t -> t

@@ -1,0 +1,83 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand seeds into full xoshiro states. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed =
+  let st = ref seed in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  (* xoshiro must not start from the all-zero state. *)
+  if Int64.(logor (logor s0 s1) (logor s2 s3)) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create seed = of_seed64 (Int64.of_int seed)
+
+let rotl x k = Int64.(logor (shift_left x k) (shift_right_logical x (64 - k)))
+
+let int64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let child_seed = int64 t in
+  of_seed64 child_seed
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let bits t w =
+  assert (w >= 0 && w <= 62);
+  if w = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (int64 t) (64 - w))
+
+let int t bound =
+  assert (bound > 0);
+  if bound = 1 then 0
+  else begin
+    (* Smallest power-of-two mask covering [bound], then reject. *)
+    let rec width w = if 1 lsl w >= bound then w else width (w + 1) in
+    let w = width 1 in
+    let rec draw () =
+      let v = bits t w in
+      if v < bound then v else draw ()
+    in
+    draw ()
+  end
+
+let bool t = bits t 1 = 1
+let float t = Int64.to_float (Int64.shift_right_logical (int64 t) 11) *. 0x1p-53
+let bernoulli t p = float t < p
+
+let bytes t len =
+  String.init len (fun _ -> Char.chr (bits t 8))
+
+let perm t n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

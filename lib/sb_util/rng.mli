@@ -1,0 +1,56 @@
+(** Deterministic, splittable pseudo-random generator.
+
+    Every stochastic component of the simulator (parties, adversaries,
+    functionalities, samplers, testers) draws from an explicit [Rng.t] so
+    that whole experiments are reproducible from a single integer seed.
+
+    The core generator is xoshiro256**; seeding and splitting use
+    splitmix64, following the recommendation of the xoshiro authors. This
+    is not a cryptographic PRG, and does not need to be: it models the
+    parties' random tapes in a simulation whose adversaries are code we
+    control, not computational attackers on the generator itself. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. Equal seeds give
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives a fresh generator whose future output is
+    statistically uncorrelated with [t]'s. Both generators advance
+    independently afterwards; [t] itself is perturbed so repeated splits
+    yield distinct children. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy replays exactly the
+    same stream as [t] would from this point. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int -> int
+(** [bits t w] returns [w] uniform bits as a non-negative int,
+    [0 <= w <= 62]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive.
+    Uses rejection sampling, so the distribution is exactly uniform. *)
+
+val bool : t -> bool
+(** One uniform bit. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val bytes : t -> int -> string
+(** [bytes t len] returns [len] uniform bytes. *)
+
+val perm : t -> int -> int array
+(** [perm t n] is a uniform permutation of [0 .. n-1] (Fisher–Yates). *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

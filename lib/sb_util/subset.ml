@@ -1,0 +1,35 @@
+type t = int list
+
+let complement n s = List.filter (fun i -> not (List.mem i s)) (List.init n Fun.id)
+let mem = List.mem
+
+let is_valid n s =
+  let rec check prev = function
+    | [] -> true
+    | i :: rest -> i > prev && i < n && check i rest
+  in
+  check (-1) s
+
+let of_list l = List.sort_uniq Int.compare l
+
+let all_of_size n k =
+  (* Standard k-combination enumeration, smallest index first. *)
+  let rec go start k =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun i -> List.map (fun rest -> i :: rest) (go (i + 1) (k - 1)))
+        (List.init (n - start - k + 1) (fun d -> start + d))
+  in
+  go 0 k
+
+let all_nonempty_proper n =
+  assert (n <= 20);
+  List.concat_map (fun k -> all_of_size n k) (List.init (n - 1) (fun i -> i + 1))
+
+let pp fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       Format.pp_print_int)
+    s

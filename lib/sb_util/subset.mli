@@ -1,0 +1,26 @@
+(** Index sets over [n] = {0, …, n−1}.
+
+    The paper constantly splits [n] into a corrupted set B and its honest
+    complement; definitions then quantify over subsets. These helpers keep
+    that bookkeeping in one place. Sets are sorted int lists without
+    duplicates. *)
+
+type t = int list
+
+val complement : int -> t -> t
+(** [complement n s] is [n] \ s, sorted. *)
+
+val mem : int -> t -> bool
+val is_valid : int -> t -> bool
+(** Sorted, duplicate-free, all members in [0, n). *)
+
+val of_list : int list -> t
+(** Sorts and deduplicates. *)
+
+val all_of_size : int -> int -> t list
+(** [all_of_size n k] enumerates all k-element subsets of [n]. *)
+
+val all_nonempty_proper : int -> t list
+(** All B with ∅ ⊂ B ⊂ [n]. Requires n <= 20. *)
+
+val pp : Format.formatter -> t -> unit

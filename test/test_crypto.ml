@@ -1,0 +1,459 @@
+(* Tests for sb_crypto: SHA-256 FIPS vectors, field axioms, polynomial
+   interpolation, Shamir sharing, the Feldman group and VSS, both
+   commitment backends, and the ideal signature registry. *)
+
+open Sb_crypto
+
+let rng () = Sb_util.Rng.create 12345
+
+(* --- SHA-256 ------------------------------------------------------ *)
+
+let test_sha_fips_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ]
+  in
+  List.iter (fun (m, d) -> Alcotest.(check string) m d (Sha256.hex m)) cases
+
+let test_sha_million_a () =
+  (* FIPS 180-4 long vector: one million 'a's. *)
+  let ctx = Sha256.init () in
+  let chunk = String.make 1000 'a' in
+  for _ = 1 to 1000 do
+    Sha256.feed ctx chunk
+  done;
+  Alcotest.(check string) "1M a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.to_hex (Sha256.finalize ctx))
+
+let test_sha_incremental_matches_oneshot () =
+  let msg = String.init 300 (fun i -> Char.chr (i mod 251)) in
+  (* Every split point must give the same digest as the one-shot. *)
+  List.iter
+    (fun cut ->
+      let ctx = Sha256.init () in
+      Sha256.feed ctx (String.sub msg 0 cut);
+      Sha256.feed ctx (String.sub msg cut (String.length msg - cut));
+      Alcotest.(check string)
+        (Printf.sprintf "split at %d" cut)
+        (Sha256.to_hex (Sha256.digest msg))
+        (Sha256.to_hex (Sha256.finalize ctx)))
+    [ 0; 1; 55; 56; 63; 64; 65; 127; 128; 300 ]
+
+let test_sha_avalanche () =
+  let a = Sha256.digest "simultaneous broadcast" in
+  let b = Sha256.digest "simultaneous broadcasu" in
+  let diff = ref 0 in
+  String.iteri
+    (fun i c ->
+      let x = Char.code c lxor Char.code b.[i] in
+      for bit = 0 to 7 do
+        if (x lsr bit) land 1 = 1 then incr diff
+      done)
+    a;
+  (* ~128 of 256 bits should flip; accept a generous window. *)
+  Alcotest.(check bool) "avalanche" true (!diff > 80 && !diff < 176)
+
+let test_sha_xor_strings () =
+  let a = "\x01\x02\xff" and b = "\x01\x0f\x0f" in
+  Alcotest.(check string) "xor" "\x00\x0d\xf0" (Sha256.xor_strings a b)
+
+(* --- Field -------------------------------------------------------- *)
+
+let fe = Alcotest.testable (fun fmt x -> Field.pp fmt x) Field.equal
+
+let test_field_basic () =
+  Alcotest.check fe "1+(-1)=0" Field.zero Field.(add one (neg one));
+  Alcotest.check fe "p reduces to 0" Field.zero (Field.of_int Field.p);
+  Alcotest.check fe "negatives reduce" (Field.of_int (Field.p - 1)) (Field.of_int (-1));
+  let x = Field.of_int 123456789 in
+  Alcotest.check fe "x * x^-1 = 1" Field.one (Field.mul x (Field.inv x));
+  Alcotest.check fe "x / x = 1" Field.one (Field.div x x)
+
+let test_field_pow () =
+  let x = Field.of_int 3 in
+  Alcotest.check fe "3^0" Field.one (Field.pow x 0);
+  Alcotest.check fe "3^5" (Field.of_int 243) (Field.pow x 5);
+  (* Fermat: x^(p-1) = 1. *)
+  Alcotest.check fe "fermat" Field.one (Field.pow x (Field.p - 1))
+
+let test_field_inv_zero_raises () =
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Field.inv Field.zero))
+
+let arbitrary_fe = QCheck.map (fun i -> Field.of_int i) QCheck.(int_range 0 (Field.p - 1))
+
+let qcheck_field_assoc =
+  QCheck.Test.make ~name:"field mul associative" ~count:1000
+    QCheck.(triple arbitrary_fe arbitrary_fe arbitrary_fe)
+    (fun (a, b, c) -> Field.(equal (mul a (mul b c)) (mul (mul a b) c)))
+
+let qcheck_field_distrib =
+  QCheck.Test.make ~name:"field distributive" ~count:1000
+    QCheck.(triple arbitrary_fe arbitrary_fe arbitrary_fe)
+    (fun (a, b, c) -> Field.(equal (mul a (add b c)) (add (mul a b) (mul a c))))
+
+let qcheck_field_inverse =
+  QCheck.Test.make ~name:"field inverse" ~count:1000 arbitrary_fe (fun a ->
+      Field.equal a Field.zero || Field.(equal one (mul a (inv a))))
+
+let qcheck_field_add_comm =
+  QCheck.Test.make ~name:"field add commutative" ~count:1000
+    QCheck.(pair arbitrary_fe arbitrary_fe)
+    (fun (a, b) -> Field.(equal (add a b) (add b a)))
+
+(* --- Poly --------------------------------------------------------- *)
+
+let test_poly_eval () =
+  (* f(X) = 2 + 3X + X^2; f(5) = 42. *)
+  let f = Poly.of_coeffs [| Field.of_int 2; Field.of_int 3; Field.of_int 1 |] in
+  Alcotest.check fe "horner" (Field.of_int 42) (Poly.eval f (Field.of_int 5))
+
+let test_poly_normalisation () =
+  let f = Poly.of_coeffs [| Field.of_int 7; Field.zero; Field.zero |] in
+  Alcotest.(check int) "degree" 0 (Poly.degree f);
+  Alcotest.(check int) "zero degree" (-1) (Poly.degree Poly.zero)
+
+let test_poly_interpolate_recovers () =
+  let rng = rng () in
+  let f = Poly.random rng ~degree:4 ~constant:(Field.of_int 99) in
+  let pts = List.init 5 (fun i -> (Field.of_int (i + 1), Poly.eval f (Field.of_int (i + 1)))) in
+  Alcotest.(check bool) "exact recovery" true (Poly.equal f (Poly.interpolate pts));
+  Alcotest.check fe "value at 0" (Field.of_int 99) (Poly.interpolate_at pts Field.zero)
+
+let test_poly_interpolate_rejects_duplicates () =
+  let pts = [ (Field.one, Field.one); (Field.one, Field.zero) ] in
+  Alcotest.check_raises "duplicate x" (Invalid_argument "Poly.interpolate: duplicate abscissae")
+    (fun () -> ignore (Poly.interpolate pts))
+
+let qcheck_poly_add_eval =
+  QCheck.Test.make ~name:"poly add is pointwise" ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 6) arbitrary_fe)
+        (list_of_size Gen.(1 -- 6) arbitrary_fe)
+        arbitrary_fe)
+    (fun (ca, cb, x) ->
+      let pa = Poly.of_coeffs (Array.of_list ca) and pb = Poly.of_coeffs (Array.of_list cb) in
+      Field.equal (Poly.eval (Poly.add pa pb) x) (Field.add (Poly.eval pa x) (Poly.eval pb x)))
+
+let qcheck_poly_mul_eval =
+  QCheck.Test.make ~name:"poly mul is pointwise" ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 5) arbitrary_fe)
+        (list_of_size Gen.(1 -- 5) arbitrary_fe)
+        arbitrary_fe)
+    (fun (ca, cb, x) ->
+      let pa = Poly.of_coeffs (Array.of_list ca) and pb = Poly.of_coeffs (Array.of_list cb) in
+      Field.equal (Poly.eval (Poly.mul pa pb) x) (Field.mul (Poly.eval pa x) (Poly.eval pb x)))
+
+(* --- Shamir ------------------------------------------------------- *)
+
+let test_shamir_reconstruct () =
+  let rng = rng () in
+  let secret = Field.of_int 777 in
+  let shares, _ = Shamir.share rng ~threshold:2 ~parties:5 ~secret in
+  (* Any 3 of 5 shares reconstruct. *)
+  List.iter
+    (fun idxs ->
+      let subset = List.map (fun i -> shares.(i)) idxs in
+      Alcotest.check fe "reconstruct" secret (Shamir.reconstruct subset))
+    [ [ 0; 1; 2 ]; [ 2; 3; 4 ]; [ 0; 2; 4 ]; [ 1; 3; 4 ] ]
+
+let test_shamir_t_shares_vary () =
+  (* Two sharings of different secrets must not produce systematically
+     equal share values at any single index. *)
+  let rng = rng () in
+  let differs = ref 0 in
+  for _ = 1 to 50 do
+    let s0, _ = Shamir.share rng ~threshold:1 ~parties:3 ~secret:Field.zero in
+    let s1, _ = Shamir.share rng ~threshold:1 ~parties:3 ~secret:Field.one in
+    if not (Field.equal s0.(0).Shamir.value s1.(0).Shamir.value) then incr differs
+  done;
+  Alcotest.(check bool) "shares vary" true (!differs > 40)
+
+let test_shamir_threshold_zero () =
+  let rng = rng () in
+  let shares, _ = Shamir.share rng ~threshold:0 ~parties:3 ~secret:(Field.of_int 5) in
+  Array.iter (fun s -> Alcotest.check fe "constant poly" (Field.of_int 5) s.Shamir.value) shares
+
+let qcheck_shamir_roundtrip =
+  QCheck.Test.make ~name:"shamir share/reconstruct" ~count:100
+    QCheck.(pair arbitrary_fe (int_range 1 4))
+    (fun (secret, t) ->
+      let rng = Sb_util.Rng.create (Field.to_int secret + t) in
+      let n = (2 * t) + 1 in
+      let shares, _ = Shamir.share rng ~threshold:t ~parties:n ~secret in
+      let subset = Array.to_list (Array.sub shares 0 (t + 1)) in
+      Field.equal secret (Shamir.reconstruct subset))
+
+(* --- Modgroup / Feldman ------------------------------------------- *)
+
+let test_modgroup_order () =
+  Alcotest.(check bool) "g is member" true (Modgroup.is_member (Modgroup.to_int Modgroup.g));
+  Alcotest.(check bool) "g^order = 1" true
+    (Modgroup.equal Modgroup.one (Modgroup.pow_int Modgroup.g Modgroup.order));
+  Alcotest.(check bool) "2 is not a member" false (Modgroup.is_member 2)
+
+let test_modgroup_inv () =
+  let h = Modgroup.pow_int Modgroup.g 12345 in
+  Alcotest.(check bool) "h * h^-1 = 1" true
+    (Modgroup.equal Modgroup.one (Modgroup.mul h (Modgroup.inv h)))
+
+let test_modgroup_exponent_arith () =
+  (* g^a * g^b = g^(a+b mod q). *)
+  let a = Field.of_int 1000000 and b = Field.of_int (Field.p - 3) in
+  let lhs = Modgroup.mul (Modgroup.commit_g a) (Modgroup.commit_g b) in
+  Alcotest.(check bool) "homomorphic" true
+    (Modgroup.equal lhs (Modgroup.commit_g (Field.add a b)))
+
+let test_feldman_verifies_honest () =
+  let rng = rng () in
+  let shares, c = Feldman.deal rng ~threshold:2 ~parties:5 ~secret:(Field.of_int 42) in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "share verifies" true (Feldman.verify_share c s))
+    shares;
+  Alcotest.(check bool) "secret verifies" true (Feldman.verify_secret c (Field.of_int 42));
+  Alcotest.(check bool) "wrong secret rejected" false
+    (Feldman.verify_secret c (Field.of_int 43))
+
+let test_feldman_rejects_bad_share () =
+  let rng = rng () in
+  let shares, c = Feldman.deal rng ~threshold:2 ~parties:5 ~secret:(Field.of_int 7) in
+  let bad = { shares.(1) with Shamir.value = Field.add shares.(1).Shamir.value Field.one } in
+  Alcotest.(check bool) "tampered share rejected" false (Feldman.verify_share c bad)
+
+let test_feldman_binding_across_sharings () =
+  let rng = rng () in
+  let _, c0 = Feldman.deal rng ~threshold:1 ~parties:3 ~secret:Field.zero in
+  let _, c1 = Feldman.deal rng ~threshold:1 ~parties:3 ~secret:Field.one in
+  Alcotest.(check bool) "distinct commitments" false (Array.for_all2 Modgroup.equal c0 c1)
+
+let qcheck_feldman_all_shares_verify =
+  QCheck.Test.make ~name:"feldman honest shares verify" ~count:50
+    QCheck.(pair arbitrary_fe (int_range 1 3))
+    (fun (secret, t) ->
+      let rng = Sb_util.Rng.create ((Field.to_int secret * 31) + t) in
+      let n = (2 * t) + 1 in
+      let shares, c = Feldman.deal rng ~threshold:t ~parties:n ~secret in
+      Array.for_all (fun s -> Feldman.verify_share c s) shares)
+
+(* --- Pedersen ------------------------------------------------------ *)
+
+let test_pedersen_verifies_honest () =
+  let rng = rng () in
+  let d = Pedersen.deal rng ~threshold:2 ~parties:5 ~secret:(Field.of_int 1) in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "share verifies" true (Pedersen.verify_share d.Pedersen.commitment s))
+    d.Pedersen.shares;
+  Alcotest.(check bool) "opening verifies" true
+    (Pedersen.verify_opening d.Pedersen.commitment ~secret:(Field.of_int 1)
+       ~blind:d.Pedersen.blind0)
+
+let test_pedersen_rejects_tampering () =
+  let rng = rng () in
+  let d = Pedersen.deal rng ~threshold:2 ~parties:5 ~secret:(Field.of_int 7) in
+  let s = d.Pedersen.shares.(2) in
+  Alcotest.(check bool) "tampered value" false
+    (Pedersen.verify_share d.Pedersen.commitment
+       { s with Pedersen.value = Field.add s.Pedersen.value Field.one });
+  Alcotest.(check bool) "tampered blind" false
+    (Pedersen.verify_share d.Pedersen.commitment
+       { s with Pedersen.blind = Field.add s.Pedersen.blind Field.one });
+  Alcotest.(check bool) "wrong secret opening" false
+    (Pedersen.verify_opening d.Pedersen.commitment ~secret:(Field.of_int 8)
+       ~blind:d.Pedersen.blind0)
+
+let test_pedersen_reconstruct_both () =
+  let rng = rng () in
+  let secret = Field.of_int 123 in
+  let d = Pedersen.deal rng ~threshold:2 ~parties:5 ~secret in
+  let subset = [ d.Pedersen.shares.(0); d.Pedersen.shares.(2); d.Pedersen.shares.(4) ] in
+  Alcotest.check fe "value reconstructs" secret (Pedersen.reconstruct subset);
+  Alcotest.check fe "blind reconstructs" d.Pedersen.blind0 (Pedersen.reconstruct_blind subset)
+
+let test_pedersen_hiding_shape () =
+  (* Perfectly hiding: commitments to 0 and to 1 under fresh blinding
+     are both valid group-element vectors; no single component reveals
+     the secret bit the way Feldman's g^secret does. We check the
+     structural property that the constant-term commitments of many
+     0-deals and 1-deals cover overlapping values. *)
+  let sample secret seed =
+    let rng = Sb_util.Rng.create seed in
+    let d = Pedersen.deal rng ~threshold:1 ~parties:3 ~secret in
+    Modgroup.to_int d.Pedersen.commitment.(0)
+  in
+  let zeros = List.init 40 (fun i -> sample Field.zero (1000 + i)) in
+  let ones = List.init 40 (fun i -> sample Field.one (2000 + i)) in
+  (* All distinct (blinding randomises), none repeated across lists. *)
+  Alcotest.(check int) "0-commitments distinct" 40
+    (List.length (List.sort_uniq Int.compare zeros));
+  Alcotest.(check int) "1-commitments distinct" 40
+    (List.length (List.sort_uniq Int.compare ones))
+
+let qcheck_pedersen_roundtrip =
+  QCheck.Test.make ~name:"pedersen deal/verify/reconstruct" ~count:40
+    QCheck.(pair arbitrary_fe (int_range 1 3))
+    (fun (secret, t) ->
+      let rng = Sb_util.Rng.create ((Field.to_int secret * 7) + t) in
+      let nparties = (2 * t) + 1 in
+      let d = Pedersen.deal rng ~threshold:t ~parties:nparties ~secret in
+      Array.for_all (Pedersen.verify_share d.Pedersen.commitment) d.Pedersen.shares
+      && Field.equal secret
+           (Pedersen.reconstruct (Array.to_list (Array.sub d.Pedersen.shares 0 (t + 1)))))
+
+(* --- Commit ------------------------------------------------------- *)
+
+let test_commit_roundtrip backend () =
+  let s = Commit.create backend in
+  let rng = rng () in
+  let c, o = Commit.commit s rng "hello" in
+  Alcotest.(check bool) "verifies" true (Commit.verify s c o);
+  Alcotest.(check bool) "wrong value rejected" false
+    (Commit.verify s c { o with Commit.value = "world" })
+
+let test_commit_hiding backend () =
+  (* Same value twice gives different commitment strings. *)
+  let s = Commit.create backend in
+  let rng = rng () in
+  let c1, _ = Commit.commit s rng "v" in
+  let c2, _ = Commit.commit s rng "v" in
+  Alcotest.(check bool) "distinct commitments" false (String.equal c1 c2)
+
+let test_commit_extract () =
+  let s = Commit.create Commit.Ideal in
+  let rng = rng () in
+  let c, _ = Commit.commit s rng "payload" in
+  Alcotest.(check (option string)) "extract" (Some "payload") (Commit.extract s c);
+  Alcotest.(check (option string)) "unknown handle" None (Commit.extract s "nonsense")
+
+let test_commit_hash_extract_records_oracle () =
+  let s = Commit.create Commit.Hash in
+  let rng = rng () in
+  let c, _ = Commit.commit s rng "seen" in
+  Alcotest.(check (option string)) "extracts own commits" (Some "seen") (Commit.extract s c);
+  Alcotest.(check (option string)) "blind on foreign strings" None
+    (Commit.extract s (String.make 32 'x'))
+
+let test_commit_equivocation () =
+  let s = Commit.create Commit.Ideal in
+  let rng = rng () in
+  let c = Commit.commit_placeholder s rng in
+  let o = Commit.equivocate s c "late-bound" in
+  Alcotest.(check bool) "equivocated opening verifies" true (Commit.verify s c o);
+  Alcotest.check_raises "double bind rejected"
+    (Invalid_argument "Commit.equivocate: handle already bound") (fun () ->
+      ignore (Commit.equivocate s c "other"))
+
+let test_commit_hash_no_equivocation () =
+  let s = Commit.create Commit.Hash in
+  let rng = rng () in
+  Alcotest.check_raises "hash backend placeholder"
+    (Invalid_argument "Commit.commit_placeholder: Hash backend is not equivocable") (fun () ->
+      ignore (Commit.commit_placeholder s rng))
+
+let test_commit_binding_hash () =
+  let s = Commit.create Commit.Hash in
+  let rng = rng () in
+  let c, o = Commit.commit s rng "bind-me" in
+  Alcotest.(check bool) "other nonce rejected" false
+    (Commit.verify s c
+       { o with Commit.nonce = String.make (String.length o.Commit.nonce) '\000' })
+
+(* --- Sig ---------------------------------------------------------- *)
+
+let test_sig_verify () =
+  let rng = rng () in
+  let s = Sig.create rng ~n:4 in
+  let m = "round-1 value" in
+  let signature = Sig.sign s ~signer:2 m in
+  Alcotest.(check bool) "verifies" true (Sig.verify s ~signer:2 m signature);
+  Alcotest.(check bool) "other signer rejected" false (Sig.verify s ~signer:1 m signature);
+  Alcotest.(check bool) "other message rejected" false
+    (Sig.verify s ~signer:2 "tampered" signature);
+  Alcotest.(check bool) "out of range signer" false (Sig.verify s ~signer:7 m signature)
+
+let test_sig_schemes_independent () =
+  let rng = rng () in
+  let s1 = Sig.create rng ~n:2 and s2 = Sig.create rng ~n:2 in
+  let m = "msg" in
+  Alcotest.(check bool) "cross-scheme rejected" false
+    (Sig.verify s2 ~signer:0 m (Sig.sign s1 ~signer:0 m))
+
+let () =
+  Alcotest.run "sb_crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha_fips_vectors;
+          Alcotest.test_case "million a's" `Slow test_sha_million_a;
+          Alcotest.test_case "incremental = one-shot" `Quick test_sha_incremental_matches_oneshot;
+          Alcotest.test_case "avalanche" `Quick test_sha_avalanche;
+          Alcotest.test_case "xor_strings" `Quick test_sha_xor_strings;
+        ] );
+      ( "field",
+        [
+          Alcotest.test_case "basic identities" `Quick test_field_basic;
+          Alcotest.test_case "pow" `Quick test_field_pow;
+          Alcotest.test_case "inv zero raises" `Quick test_field_inv_zero_raises;
+          QCheck_alcotest.to_alcotest qcheck_field_assoc;
+          QCheck_alcotest.to_alcotest qcheck_field_distrib;
+          QCheck_alcotest.to_alcotest qcheck_field_inverse;
+          QCheck_alcotest.to_alcotest qcheck_field_add_comm;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "normalisation" `Quick test_poly_normalisation;
+          Alcotest.test_case "interpolation recovers" `Quick test_poly_interpolate_recovers;
+          Alcotest.test_case "duplicate abscissae" `Quick test_poly_interpolate_rejects_duplicates;
+          QCheck_alcotest.to_alcotest qcheck_poly_add_eval;
+          QCheck_alcotest.to_alcotest qcheck_poly_mul_eval;
+        ] );
+      ( "shamir",
+        [
+          Alcotest.test_case "reconstruct" `Quick test_shamir_reconstruct;
+          Alcotest.test_case "shares vary" `Quick test_shamir_t_shares_vary;
+          Alcotest.test_case "threshold zero" `Quick test_shamir_threshold_zero;
+          QCheck_alcotest.to_alcotest qcheck_shamir_roundtrip;
+        ] );
+      ( "feldman",
+        [
+          Alcotest.test_case "group order" `Quick test_modgroup_order;
+          Alcotest.test_case "group inverse" `Quick test_modgroup_inv;
+          Alcotest.test_case "exponent homomorphism" `Quick test_modgroup_exponent_arith;
+          Alcotest.test_case "honest shares verify" `Quick test_feldman_verifies_honest;
+          Alcotest.test_case "bad share rejected" `Quick test_feldman_rejects_bad_share;
+          Alcotest.test_case "binding across sharings" `Quick test_feldman_binding_across_sharings;
+          QCheck_alcotest.to_alcotest qcheck_feldman_all_shares_verify;
+        ] );
+      ( "pedersen",
+        [
+          Alcotest.test_case "honest verifies" `Quick test_pedersen_verifies_honest;
+          Alcotest.test_case "tampering rejected" `Quick test_pedersen_rejects_tampering;
+          Alcotest.test_case "reconstruct value and blind" `Quick test_pedersen_reconstruct_both;
+          Alcotest.test_case "hiding shape" `Quick test_pedersen_hiding_shape;
+          QCheck_alcotest.to_alcotest qcheck_pedersen_roundtrip;
+        ] );
+      ( "commit",
+        [
+          Alcotest.test_case "hash roundtrip" `Quick (test_commit_roundtrip Commit.Hash);
+          Alcotest.test_case "ideal roundtrip" `Quick (test_commit_roundtrip Commit.Ideal);
+          Alcotest.test_case "hash hiding" `Quick (test_commit_hiding Commit.Hash);
+          Alcotest.test_case "ideal hiding" `Quick (test_commit_hiding Commit.Ideal);
+          Alcotest.test_case "ideal extraction" `Quick test_commit_extract;
+          Alcotest.test_case "hash oracle extraction" `Quick test_commit_hash_extract_records_oracle;
+          Alcotest.test_case "equivocation" `Quick test_commit_equivocation;
+          Alcotest.test_case "hash not equivocable" `Quick test_commit_hash_no_equivocation;
+          Alcotest.test_case "hash binding" `Quick test_commit_binding_hash;
+        ] );
+      ( "sig",
+        [
+          Alcotest.test_case "verify" `Quick test_sig_verify;
+          Alcotest.test_case "schemes independent" `Quick test_sig_schemes_independent;
+        ] );
+    ]

@@ -1,0 +1,396 @@
+(* Tests for sb_sim: message algebra, envelopes, and — most importantly
+   — the network's rushing/visibility/authentication semantics. *)
+
+open Sb_sim
+
+let rng () = Sb_util.Rng.create 777
+
+let make_ctx ?(n = 4) ?(thresh = 1) ?(k = 8) () =
+  Ctx.make ~rng:(rng ()) ~n ~thresh ~k ()
+
+(* --- Msg ---------------------------------------------------------- *)
+
+let test_msg_roundtrips () =
+  let v = Sb_util.Bitvec.of_string "1011" in
+  Alcotest.(check bool) "bitvec roundtrip" true
+    (Sb_util.Bitvec.equal v (Msg.to_bitvec_exn (Msg.of_bitvec v)));
+  Alcotest.(check bool) "bit" true (Msg.to_bit_exn (Msg.Bit true));
+  Alcotest.(check int) "int" 42 (Msg.to_int_exn (Msg.Int 42));
+  Alcotest.(check string) "str" "x" (Msg.to_str_exn (Msg.Str "x"))
+
+let test_msg_untag () =
+  let m = Msg.Tag ("commit", Msg.Int 3) in
+  Alcotest.(check int) "untag" 3 (Msg.to_int_exn (Msg.untag_exn "commit" m));
+  Alcotest.check_raises "wrong tag"
+    (Invalid_argument "Msg.untag_exn open: commit(3)") (fun () ->
+      ignore (Msg.untag_exn "open" m))
+
+let test_msg_serialize_injective_samples () =
+  (* A few adversarially close pairs. *)
+  let pairs =
+    [
+      (Msg.Str "ab", Msg.List [ Msg.Str "a"; Msg.Str "b" ]);
+      (Msg.Int 12, Msg.Str "12");
+      (Msg.List [ Msg.Bit true ], Msg.Bit true);
+      (Msg.Tag ("a", Msg.Str "b"), Msg.Str "ab");
+      (Msg.List [ Msg.Str "a"; Msg.Str "" ], Msg.List [ Msg.Str ""; Msg.Str "a" ]);
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Msg.to_string a ^ " vs " ^ Msg.to_string b)
+        false
+        (String.equal (Msg.serialize a) (Msg.serialize b)))
+    pairs
+
+let qcheck_msg_equal_refl =
+  let gen_msg =
+    QCheck.Gen.(
+      sized @@ fix (fun self size ->
+          if size <= 1 then
+            oneof
+              [
+                return Msg.Unit;
+                map (fun b -> Msg.Bit b) bool;
+                map (fun i -> Msg.Int i) small_int;
+                map (fun s -> Msg.Str s) small_string;
+              ]
+          else
+            oneof
+              [
+                map (fun l -> Msg.List l) (list_size (0 -- 3) (self (size / 2)));
+                map2 (fun t m -> Msg.Tag (t, m)) small_string (self (size / 2));
+              ]))
+  in
+  QCheck.Test.make ~name:"msg serialize consistent with equal" ~count:300
+    (QCheck.make gen_msg) (fun m ->
+      Msg.equal m m && String.equal (Msg.serialize m) (Msg.serialize m))
+
+(* --- Envelope ----------------------------------------------------- *)
+
+let test_envelope_addressing () =
+  let e = Envelope.make ~src:1 ~dst:2 (Msg.Bit true) in
+  Alcotest.(check (option int)) "src" (Some 1) (Envelope.src_party e);
+  Alcotest.(check (option int)) "dst" (Some 2) (Envelope.dst_party e);
+  Alcotest.(check bool) "not func" false (Envelope.is_func_bound e);
+  let f = Envelope.to_func ~src:0 Msg.Unit in
+  Alcotest.(check bool) "func bound" true (Envelope.is_func_bound f);
+  Alcotest.(check int) "to_all count" 4 (List.length (Envelope.to_all ~n:4 ~src:0 Msg.Unit));
+  Alcotest.(check int) "to_others count" 3
+    (List.length (Envelope.to_others ~n:4 ~src:0 Msg.Unit))
+
+(* --- Network: basic delivery ------------------------------------- *)
+
+(* A protocol where party 0 sends its input to everyone in round 0 and
+   everyone outputs what they got from party 0. *)
+let relay_protocol =
+  {
+    Protocol.name = "relay";
+    rounds = (fun _ -> 1);
+    make_functionality = None;
+    make_party =
+      (fun ctx ~rng:_ ~id ~input ->
+        let got = ref Msg.Unit in
+        let step ~round ~inbox =
+          (match
+             List.find_opt (fun (e : Envelope.t) -> Envelope.src_party e = Some 0) inbox
+           with
+          | Some e -> got := e.Envelope.body
+          | None -> ());
+          if round = 0 && id = 0 then Envelope.to_all ~n:ctx.Ctx.n ~src:0 input else []
+        in
+        { Party.step; output = (fun () -> !got) });
+  }
+
+let test_network_delivers_next_round () =
+  let ctx = make_ctx () in
+  let inputs = [| Msg.Int 9; Msg.Unit; Msg.Unit; Msg.Unit |] in
+  let r = Network.honest_run ctx ~rng:(rng ()) ~protocol:relay_protocol ~inputs in
+  List.iter
+    (fun (_, out) -> Alcotest.(check bool) "got input" true (Msg.equal out (Msg.Int 9)))
+    r.Network.outputs;
+  Alcotest.(check int) "4 parties" 4 (List.length r.Network.outputs);
+  Alcotest.(check int) "message count" 4 r.Network.p2p_messages
+
+let test_network_rushing_visibility () =
+  (* The adversary must see honest round-r messages inside round r. *)
+  let ctx = make_ctx () in
+  let seen = ref [] in
+  let adv =
+    {
+      Adversary.name = "observer";
+      choose_corrupt = (fun _ ~rng:_ -> [ 3 ]);
+      init =
+        (fun _ ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+          {
+            Adversary.act =
+              (fun view ->
+                if view.Adversary.round = 0 then seen := view.Adversary.rushed;
+                []);
+            adv_output = (fun () -> Msg.Unit);
+          });
+    }
+  in
+  let inputs = [| Msg.Int 5; Msg.Unit; Msg.Unit; Msg.Unit |] in
+  let _ =
+    Network.run ctx ~rng:(rng ()) ~protocol:relay_protocol ~adversary:adv ~inputs ()
+  in
+  Alcotest.(check int) "saw all 4 same-round sends" 4 (List.length !seen);
+  Alcotest.(check bool) "payload visible" true
+    (List.for_all (fun (e : Envelope.t) -> Msg.equal e.Envelope.body (Msg.Int 5)) !seen)
+
+let test_network_drops_spoofed () =
+  (* An adversary that tries to send as an honest party is silenced. *)
+  let ctx = make_ctx () in
+  let adv =
+    {
+      Adversary.name = "spoofer";
+      choose_corrupt = (fun _ ~rng:_ -> [ 3 ]);
+      init =
+        (fun _ ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+          {
+            Adversary.act =
+              (fun view ->
+                if view.Adversary.round = 0 then
+                  (* Claim to be party 0 and inject a fake value. *)
+                  Envelope.to_all ~n:4 ~src:0 (Msg.Int 666)
+                else []);
+            adv_output = (fun () -> Msg.Unit);
+          });
+    }
+  in
+  let inputs = [| Msg.Int 1; Msg.Unit; Msg.Unit; Msg.Unit |] in
+  let r = Network.run ctx ~rng:(rng ()) ~protocol:relay_protocol ~adversary:adv ~inputs () in
+  List.iter
+    (fun (_, out) -> Alcotest.(check bool) "real value survives" true (Msg.equal out (Msg.Int 1)))
+    r.Network.outputs
+
+let test_network_adversary_can_speak_as_corrupted () =
+  let ctx = make_ctx () in
+  let adv =
+    {
+      Adversary.name = "talker";
+      choose_corrupt = (fun _ ~rng:_ -> [ 0 ]);
+      init =
+        (fun _ ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+          {
+            Adversary.act =
+              (fun view ->
+                if view.Adversary.round = 0 then Envelope.to_all ~n:4 ~src:0 (Msg.Int 8)
+                else []);
+            adv_output = (fun () -> Msg.Unit);
+          });
+    }
+  in
+  let inputs = [| Msg.Int 1; Msg.Unit; Msg.Unit; Msg.Unit |] in
+  let r = Network.run ctx ~rng:(rng ()) ~protocol:relay_protocol ~adversary:adv ~inputs () in
+  Alcotest.(check int) "3 honest outputs" 3 (List.length r.Network.outputs);
+  List.iter
+    (fun (_, out) -> Alcotest.(check bool) "adversarial value" true (Msg.equal out (Msg.Int 8)))
+    r.Network.outputs
+
+(* --- Network: functionality semantics ----------------------------- *)
+
+(* Protocol: every party sends its input to the functionality in round
+   0; the functionality XORs all bits and returns the result to
+   everyone in round 1. *)
+let xor_func_protocol =
+  {
+    Protocol.name = "xor-func";
+    rounds = (fun _ -> 1);
+    make_functionality =
+      Some
+        (fun ctx ~rng:_ ->
+          Functionality.one_shot ~at_round:0 (fun inbox ->
+              let value =
+                List.fold_left
+                  (fun acc (e : Envelope.t) ->
+                    match e.Envelope.body with Msg.Bit b -> acc <> b | _ -> acc)
+                  false inbox
+              in
+              List.init ctx.Ctx.n (fun i -> Envelope.from_func ~dst:i (Msg.Bit value))));
+    make_party =
+      (fun _ ~rng:_ ~id ~input ->
+        let got = ref Msg.Unit in
+        let step ~round ~inbox =
+          List.iter
+            (fun (e : Envelope.t) -> if Envelope.is_from_func e then got := e.Envelope.body)
+            inbox;
+          if round = 0 then [ Envelope.to_func ~src:id input ] else []
+        in
+        { Party.step; output = (fun () -> !got) });
+  }
+
+let test_functionality_computes () =
+  let ctx = make_ctx () in
+  let inputs = [| Msg.Bit true; Msg.Bit true; Msg.Bit false; Msg.Bit true |] in
+  let r = Network.honest_run ctx ~rng:(rng ()) ~protocol:xor_func_protocol ~inputs in
+  List.iter
+    (fun (_, out) -> Alcotest.(check bool) "xor = 1" true (Msg.equal out (Msg.Bit true)))
+    r.Network.outputs
+
+let test_functionality_hidden_from_adversary () =
+  (* Func-bound honest messages must NOT appear in the rushed view. *)
+  let ctx = make_ctx () in
+  let leak = ref false in
+  let adv =
+    {
+      Adversary.name = "peeker";
+      choose_corrupt = (fun _ ~rng:_ -> [ 3 ]);
+      init =
+        (fun _ ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+          {
+            Adversary.act =
+              (fun view ->
+                if List.exists Envelope.is_func_bound view.Adversary.rushed then leak := true;
+                []);
+            adv_output = (fun () -> Msg.Unit);
+          });
+    }
+  in
+  let inputs = [| Msg.Bit true; Msg.Bit false; Msg.Bit false; Msg.Bit true |] in
+  let _ = Network.run ctx ~rng:(rng ()) ~protocol:xor_func_protocol ~adversary:adv ~inputs () in
+  Alcotest.(check bool) "no ideal-channel leak" false !leak
+
+let test_network_deterministic_under_seed () =
+  let run () =
+    let ctx = Ctx.make ~rng:(Sb_util.Rng.create 31337) ~n:4 ~thresh:1 ~k:8 () in
+    let inputs = [| Msg.Bit true; Msg.Bit false; Msg.Bit true; Msg.Bit false |] in
+    Network.honest_run ctx ~rng:(Sb_util.Rng.create 999) ~protocol:xor_func_protocol ~inputs
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same outputs" true
+    (List.for_all2
+       (fun (i, x) (j, y) -> i = j && Msg.equal x y)
+       a.Network.outputs b.Network.outputs)
+
+let test_network_rejects_wrong_input_count () =
+  let ctx = make_ctx () in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Network.run: wrong number of inputs")
+    (fun () ->
+      ignore (Network.honest_run ctx ~rng:(rng ()) ~protocol:relay_protocol ~inputs:[| Msg.Unit |]))
+
+let test_broadcast_channel_semantics () =
+  (* One broadcast envelope reaches every party identically, and a
+     corrupted party cannot broadcast under an honest source id. *)
+  let ctx = make_ctx () in
+  let bcast_protocol =
+    {
+      Protocol.name = "bcast-once";
+      rounds = (fun _ -> 1);
+      make_functionality = None;
+      make_party =
+        (fun _ ~rng:_ ~id ~input ->
+          let got = ref [] in
+          let step ~round ~inbox =
+            List.iter
+              (fun (e : Envelope.t) ->
+                if Envelope.is_broadcast e then got := e.Envelope.body :: !got)
+              inbox;
+            if round = 0 && id = 1 then [ Envelope.broadcast ~src:1 input ] else []
+          in
+          { Party.step; output = (fun () -> Msg.List !got) });
+    }
+  in
+  let spoofer =
+    {
+      Adversary.name = "bcast-spoofer";
+      choose_corrupt = (fun _ ~rng:_ -> [ 3 ]);
+      init =
+        (fun _ ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+          {
+            Adversary.act =
+              (fun view ->
+                if view.Adversary.round = 0 then
+                  [ Envelope.broadcast ~src:0 (Msg.Int 666) ] (* spoofed source *)
+                else []);
+            adv_output = (fun () -> Msg.Unit);
+          });
+    }
+  in
+  let inputs = [| Msg.Unit; Msg.Int 7; Msg.Unit; Msg.Unit |] in
+  let r = Network.run ctx ~rng:(rng ()) ~protocol:bcast_protocol ~adversary:spoofer ~inputs () in
+  List.iter
+    (fun (_, out) ->
+      Alcotest.(check bool) "only the honest broadcast arrives" true
+        (Msg.equal out (Msg.List [ Msg.Int 7 ])))
+    r.Network.outputs
+
+let test_aux_input_reaches_adversary () =
+  let ctx = make_ctx () in
+  let captured = ref Msg.Unit in
+  let adv =
+    {
+      Adversary.name = "aux-reader";
+      choose_corrupt = (fun _ ~rng:_ -> [ 3 ]);
+      init =
+        (fun _ ~rng:_ ~corrupted:_ ~inputs:_ ~aux ->
+          captured := aux;
+          { Adversary.act = (fun _ -> []); adv_output = (fun () -> aux) });
+    }
+  in
+  let inputs = Array.make 4 Msg.Unit in
+  let r =
+    Network.run ctx ~rng:(rng ()) ~protocol:relay_protocol ~adversary:adv ~inputs
+      ~aux:(Msg.Str "z-input") ()
+  in
+  Alcotest.(check bool) "aux captured" true (Msg.equal !captured (Msg.Str "z-input"));
+  Alcotest.(check bool) "aux in output" true (Msg.equal r.Network.adv_output (Msg.Str "z-input"))
+
+(* --- Adversary combinators ---------------------------------------- *)
+
+let test_semi_honest_matches_honest () =
+  (* A semi-honest adversary corrupting one party must produce the same
+     announced values as the all-honest run. *)
+  let ctx = make_ctx () in
+  let inputs = [| Msg.Int 4; Msg.Unit; Msg.Unit; Msg.Unit |] in
+  let honest = Network.honest_run ctx ~rng:(Sb_util.Rng.create 5) ~protocol:relay_protocol ~inputs in
+  let semi =
+    Network.run ctx ~rng:(Sb_util.Rng.create 5) ~protocol:relay_protocol
+      ~adversary:(Adversary.semi_honest relay_protocol ~corrupt:[ 2 ])
+      ~inputs ()
+  in
+  let honest_out = List.filter (fun (i, _) -> i <> 2) honest.Network.outputs in
+  Alcotest.(check int) "honest count" 3 (List.length semi.Network.outputs);
+  List.iter2
+    (fun (i, x) (j, y) ->
+      Alcotest.(check int) "ids align" i j;
+      Alcotest.(check bool) "same output" true (Msg.equal x y))
+    honest_out semi.Network.outputs
+
+let () =
+  Alcotest.run "sb_sim"
+    [
+      ( "msg",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_msg_roundtrips;
+          Alcotest.test_case "untag" `Quick test_msg_untag;
+          Alcotest.test_case "serialize injective samples" `Quick
+            test_msg_serialize_injective_samples;
+          QCheck_alcotest.to_alcotest qcheck_msg_equal_refl;
+        ] );
+      ("envelope", [ Alcotest.test_case "addressing" `Quick test_envelope_addressing ]);
+      ( "network",
+        [
+          Alcotest.test_case "delivers next round" `Quick test_network_delivers_next_round;
+          Alcotest.test_case "rushing visibility" `Quick test_network_rushing_visibility;
+          Alcotest.test_case "drops spoofed" `Quick test_network_drops_spoofed;
+          Alcotest.test_case "corrupted may speak" `Quick
+            test_network_adversary_can_speak_as_corrupted;
+          Alcotest.test_case "deterministic under seed" `Quick
+            test_network_deterministic_under_seed;
+          Alcotest.test_case "wrong input count" `Quick test_network_rejects_wrong_input_count;
+          Alcotest.test_case "broadcast channel semantics" `Quick
+            test_broadcast_channel_semantics;
+          Alcotest.test_case "aux input plumbing" `Quick test_aux_input_reaches_adversary;
+        ] );
+      ( "functionality",
+        [
+          Alcotest.test_case "computes" `Quick test_functionality_computes;
+          Alcotest.test_case "ideal channel hidden" `Quick
+            test_functionality_hidden_from_adversary;
+        ] );
+      ( "adversary",
+        [ Alcotest.test_case "semi-honest = honest" `Quick test_semi_honest_matches_honest ] );
+    ]

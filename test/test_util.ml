@@ -1,0 +1,208 @@
+(* Tests for sb_util: Rng determinism and uniformity, Bitvec algebra,
+   Subset enumeration, Tabular rendering. *)
+
+open Sb_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  Alcotest.(check bool) "children differ" true (Rng.int64 child1 <> Rng.int64 child2)
+
+let test_rng_copy_replays () =
+  let a = Rng.create 9 in
+  let _ = Rng.int64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_rng_int_uniform () =
+  (* Chi-square-ish sanity: each of 8 buckets gets a fair share. *)
+  let rng = Rng.create 5 in
+  let counts = Array.make 8 0 in
+  let trials = 80_000 in
+  for _ = 1 to trials do
+    let v = Rng.int rng 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = trials / 8 in
+      Alcotest.(check bool) "within 5% of uniform" true (abs (c - expected) < expected / 20))
+    counts
+
+let test_rng_bool_balanced () =
+  let rng = Rng.create 11 in
+  let ones = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool rng then incr ones
+  done;
+  Alcotest.(check bool) "roughly half ones" true (abs (!ones - 5000) < 300)
+
+let test_rng_perm_is_permutation () =
+  let rng = Rng.create 13 in
+  let p = Rng.perm rng 20 in
+  let sorted = Array.copy p in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutes 0..19" (Array.init 20 Fun.id) sorted
+
+let test_rng_bytes_length () =
+  let rng = Rng.create 17 in
+  Alcotest.(check int) "length" 33 (String.length (Rng.bytes rng 33))
+
+let test_bitvec_roundtrip () =
+  for v = 0 to 31 do
+    let bv = Bitvec.of_int 5 v in
+    Alcotest.(check int) "of_int/to_int" v (Bitvec.to_int bv);
+    Alcotest.(check string) "of_string/to_string" (Bitvec.to_string bv)
+      (Bitvec.to_string (Bitvec.of_string (Bitvec.to_string bv)))
+  done
+
+let test_bitvec_parity () =
+  let v = Bitvec.of_string "1101" in
+  Alcotest.(check bool) "parity of 1101" true (Bitvec.parity v);
+  Alcotest.(check bool) "parity except 0" false (Bitvec.parity_except v 0);
+  Alcotest.(check bool) "parity except 2" true (Bitvec.parity_except v 2)
+
+let test_bitvec_proj_combine () =
+  let v = Bitvec.of_string "10110" in
+  let s = [ 1; 3 ] in
+  Alcotest.(check (array bool)) "projection" [| false; true |] (Bitvec.proj v s);
+  let w = Bitvec.combine v s [| true; false |] in
+  Alcotest.(check string) "combine" "11100" (Bitvec.to_string w);
+  Alcotest.(check string) "original untouched" "10110" (Bitvec.to_string v)
+
+let test_bitvec_set_functional () =
+  let v = Bitvec.zero 3 in
+  let w = Bitvec.set v 1 true in
+  Alcotest.(check string) "updated" "010" (Bitvec.to_string w);
+  Alcotest.(check string) "original" "000" (Bitvec.to_string v)
+
+let test_bitvec_all () =
+  let l = Bitvec.all 3 in
+  Alcotest.(check int) "count" 8 (List.length l);
+  Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq Bitvec.compare l))
+
+let test_bitvec_xor () =
+  let a = Bitvec.of_string "1100" and b = Bitvec.of_string "1010" in
+  Alcotest.(check string) "xor" "0110" (Bitvec.to_string (Bitvec.xor a b))
+
+let test_subset_complement () =
+  Alcotest.(check (list int)) "complement" [ 0; 2; 4 ] (Subset.complement 5 [ 1; 3 ])
+
+let test_subset_all_of_size () =
+  Alcotest.(check int) "C(5,2)" 10 (List.length (Subset.all_of_size 5 2));
+  Alcotest.(check int) "C(6,3)" 20 (List.length (Subset.all_of_size 6 3));
+  List.iter
+    (fun s -> Alcotest.(check bool) "valid" true (Subset.is_valid 5 s))
+    (Subset.all_of_size 5 2)
+
+let test_subset_nonempty_proper () =
+  Alcotest.(check int) "2^4 - 2" 14 (List.length (Subset.all_nonempty_proper 4))
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_tabular_contents () =
+  let t = Tabular.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Tabular.add_row t [ "x"; "y" ];
+  Tabular.add_row t [ "long-cell" ];
+  let s = Tabular.render t in
+  Alcotest.(check bool) "title" true (contains s "== demo ==");
+  Alcotest.(check bool) "row cell" true (contains s "long-cell");
+  Alcotest.(check bool) "padded short row" true (contains s "x")
+
+let test_tabular_csv () =
+  let t = Tabular.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Tabular.add_row t [ "plain"; "with,comma" ];
+  Tabular.add_rule t;
+  Tabular.add_row t [ "has\"quote"; "" ];
+  Alcotest.(check string) "csv"
+    "a,b\nplain,\"with,comma\"\n\"has\"\"quote\",\n" (Tabular.to_csv t);
+  Alcotest.(check string) "title accessor" "demo" (Tabular.title t)
+
+let qcheck_bitvec_int_roundtrip =
+  QCheck.Test.make ~name:"bitvec of_int/to_int roundtrip" ~count:500
+    QCheck.(pair (int_bound 15) (int_bound 100000))
+    (fun (extra, v) ->
+      let n = 17 + extra in
+      let v = v land ((1 lsl n) - 1) in
+      Bitvec.to_int (Bitvec.of_int n v) = v)
+
+let qcheck_bitvec_xor_involution =
+  QCheck.Test.make ~name:"xor involution" ~count:500
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let va = Sb_util.Bitvec.of_int 8 a and vb = Sb_util.Bitvec.of_int 8 b in
+      Bitvec.equal va (Bitvec.xor (Bitvec.xor va vb) vb))
+
+let qcheck_subset_complement_partition =
+  QCheck.Test.make ~name:"subset complement partitions [n]" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 8) (int_bound 9))
+    (fun l ->
+      let s = Subset.of_list l in
+      let c = Subset.complement 10 s in
+      List.length s + List.length c = 10
+      && List.for_all (fun i -> not (List.mem i c)) s)
+
+let () =
+  Alcotest.run "sb_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniform" `Slow test_rng_int_uniform;
+          Alcotest.test_case "bool balanced" `Quick test_rng_bool_balanced;
+          Alcotest.test_case "perm is permutation" `Quick test_rng_perm_is_permutation;
+          Alcotest.test_case "bytes length" `Quick test_rng_bytes_length;
+        ] );
+      ( "bitvec",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_bitvec_roundtrip;
+          Alcotest.test_case "parity" `Quick test_bitvec_parity;
+          Alcotest.test_case "proj/combine" `Quick test_bitvec_proj_combine;
+          Alcotest.test_case "functional set" `Quick test_bitvec_set_functional;
+          Alcotest.test_case "all vectors" `Quick test_bitvec_all;
+          Alcotest.test_case "xor" `Quick test_bitvec_xor;
+          QCheck_alcotest.to_alcotest qcheck_bitvec_int_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_bitvec_xor_involution;
+        ] );
+      ( "subset",
+        [
+          Alcotest.test_case "complement" `Quick test_subset_complement;
+          Alcotest.test_case "all_of_size" `Quick test_subset_all_of_size;
+          Alcotest.test_case "nonempty proper" `Quick test_subset_nonempty_proper;
+          QCheck_alcotest.to_alcotest qcheck_subset_complement_partition;
+        ] );
+      ( "tabular",
+        [
+          Alcotest.test_case "contents" `Quick test_tabular_contents;
+          Alcotest.test_case "csv export" `Quick test_tabular_csv;
+        ] );
+    ]
