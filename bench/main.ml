@@ -1,6 +1,8 @@
 (* Benchmark harness: regenerates every table of the reproduction
    (experiments E1-E13, one printed table per paper claim) and then
-   times the protocol substrates with Bechamel (E9).
+   times the protocol substrates with Bechamel (E9). Every invocation
+   ends by writing a machine-readable BENCH_<tag>.json run report
+   (schema in EXPERIMENTS.md) — the perf trajectory artifact.
 
    Usage:
      dune exec bench/main.exe            -- everything (default budget)
@@ -11,24 +13,7 @@
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
-(* --- E1..E12 tables ------------------------------------------------ *)
-
-let experiment_of_id setup id =
-  match String.lowercase_ascii id with
-  | "e1" -> Some (Core.Experiments.e1_distribution_classes ~n:setup.Core.Setup.n ())
-  | "e2" -> Some (Core.Experiments.e2_cr_unachievable setup)
-  | "e3" -> Some (Core.Experiments.e3_g_unachievable setup)
-  | "e4" -> Some (Core.Experiments.e4_feasibility setup)
-  | "e5" -> Some (Core.Experiments.e5_pi_g_separation setup)
-  | "e6" -> Some (Core.Experiments.e6_singleton_trivial setup)
-  | "e7" -> Some (Core.Experiments.e7_implications setup)
-  | "e8" -> Some (Core.Experiments.e8_complexity ())
-  | "e10" -> Some (Core.Experiments.e10_gss_agreement setup)
-  | "e11" -> Some (Core.Experiments.e11_echo_attack setup)
-  | "e12" -> Some (Core.Experiments.e12_reveal_ablation setup)
-  | "e13" -> Some (Core.Experiments.e13_simulation setup)
-  | "e14" -> Some (Core.Experiments.e14_figure1 setup)
-  | _ -> None
+(* --- E1..E14 tables (dispatched via the shared registry) ----------- *)
 
 let csv_dir = ref None
 
@@ -52,26 +37,38 @@ let print_outcome (o : Core.Experiments.outcome) =
     o.Core.Experiments.rows_checked
 
 let run_experiments setup ids =
-  let all_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e10"; "e11"; "e12"; "e13"; "e14" ] in
-  let ids = if ids = [] then all_ids else ids in
-  let outcomes =
-    List.filter_map
-      (fun id ->
-        match experiment_of_id setup id with
-        | Some o -> Some o
-        | None ->
-            say "unknown experiment id: %s" id;
-            None)
-      ids
+  let entries =
+    if ids = [] then Core.Experiments.registry
+    else
+      List.filter_map
+        (fun id ->
+          match Core.Experiments.find id with
+          | Some e -> Some e
+          | None ->
+              say "unknown experiment id: %s" id;
+              None)
+        ids
   in
-  List.iter print_outcome outcomes;
+  let outcomes =
+    List.map
+      (fun (e : Core.Experiments.entry) ->
+        let t0 = Unix.gettimeofday () in
+        let o = e.Core.Experiments.run setup in
+        let wall = Unix.gettimeofday () -. t0 in
+        print_outcome o;
+        (o, wall))
+      entries
+  in
   let bad =
-    List.filter (fun (o : Core.Experiments.outcome) -> not o.Core.Experiments.ok) outcomes
+    List.filter (fun ((o : Core.Experiments.outcome), _) -> not o.Core.Experiments.ok) outcomes
   in
   say "== summary: %d/%d experiments match the paper's predictions =="
     (List.length outcomes - List.length bad)
     (List.length outcomes);
-  List.iter (fun (o : Core.Experiments.outcome) -> say "  MISMATCH: %s" o.Core.Experiments.id) bad
+  List.iter
+    (fun ((o : Core.Experiments.outcome), _) -> say "  MISMATCH: %s" o.Core.Experiments.id)
+    bad;
+  outcomes
 
 (* --- E9: Bechamel timing ------------------------------------------- *)
 
@@ -134,6 +131,7 @@ let run_timing () =
   let table =
     Sb_util.Tabular.create ~title:"E9 timings" ~columns:[ "benchmark"; "ns/run"; "r^2" ]
   in
+  let entries = ref [] in
   Hashtbl.iter
     (fun _instance tbl ->
       let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
@@ -143,14 +141,20 @@ let run_timing () =
           let ns = match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan in
           let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
           Sb_util.Tabular.add_row table
-            [ name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.4f" r2 ])
+            [ name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.4f" r2 ];
+          entries :=
+            { Sb_obs.Report.bench_name = name; ns_per_run = ns; r_square = r2 } :: !entries)
         rows)
     results;
-  Sb_util.Tabular.print table
+  Sb_util.Tabular.print table;
+  List.rev !entries
 
 (* --- entry --------------------------------------------------------- *)
 
 let () =
+  (* The bench run is the perf-trajectory artifact: observability on. *)
+  Sb_obs.Metrics.set_enabled true;
+  Sb_obs.Span.set_enabled true;
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
   let setup =
@@ -168,5 +172,30 @@ let () =
   in
   let timing_only = List.mem "timing" args in
   let tables_only = List.mem "tables" args in
-  if not timing_only then run_experiments setup ids;
-  if (not tables_only) && (ids = [] || timing_only) then run_timing ()
+  let outcomes = if timing_only then [] else run_experiments setup ids in
+  let timings =
+    if (not tables_only) && (ids = [] || timing_only) then run_timing () else []
+  in
+  let tag =
+    if quick then "quick"
+    else if timing_only then "timing"
+    else if ids = [] then "full"
+    else String.concat "_" (List.map String.lowercase_ascii ids)
+  in
+  let experiments =
+    List.map
+      (fun ((o : Core.Experiments.outcome), wall) ->
+        {
+          Sb_obs.Report.id = o.Core.Experiments.id;
+          title = o.Core.Experiments.title;
+          ok = o.Core.Experiments.ok;
+          rows_checked = o.Core.Experiments.rows_checked;
+          wall_clock_s = wall;
+          notes = o.Core.Experiments.notes;
+        })
+      outcomes
+  in
+  let report = Sb_obs.Report.make ~tool:"bench" ~tag ~experiments ~timings () in
+  let path = Printf.sprintf "BENCH_%s.json" tag in
+  Sb_obs.Report.write_file path report;
+  say "wrote %s" path

@@ -102,6 +102,37 @@ let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
 
 let resolve_thresh n = function Some t -> t | None -> (n - 1) / 2
 
+(* --- observability plumbing ---------------------------------------- *)
+
+let metrics_arg =
+  let doc = "Collect metrics and print a summary table at the end." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let report_arg =
+  let doc = "Write a versioned JSON run report (implies metric collection)." in
+  Arg.(value & opt (some string) None & info [ "report" ] ~doc ~docv:"FILE")
+
+let setup_obs metrics report =
+  if metrics || report <> None then begin
+    Sb_obs.Metrics.set_enabled true;
+    Sb_obs.Span.set_enabled true
+  end
+
+(* Instrumentation never touches the split RNG streams, so the printed
+   protocol outputs are identical with or without these flags. *)
+let finish_obs ?(experiments = []) ~tag metrics report =
+  if metrics then Sb_util.Tabular.print (Sb_obs.Metrics.to_table ());
+  match report with
+  | None -> ()
+  | Some file -> (
+      let report = Sb_obs.Report.make ~tool:"simbcast" ~tag ~experiments () in
+      try
+        Sb_obs.Report.write_file file report;
+        Printf.printf "wrote %s\n" file
+      with Sys_error msg ->
+        Printf.eprintf "simbcast: cannot write report: %s\n" msg;
+        exit 1)
+
 (* --- list ---------------------------------------------------------- *)
 
 let claim_cell b = if b then "claims independence" else "parallel only"
@@ -146,8 +177,9 @@ let run_cmd =
     let doc = "Input bit vector, e.g. 10110 (defaults to uniform random)." in
     Arg.(value & opt (some string) None & info [ "x"; "inputs" ] ~doc)
   in
-  let run pname n thresh seed inputs adversary_name verbose =
+  let run pname n thresh seed inputs adversary_name verbose metrics report =
     setup_logging verbose;
+    setup_obs metrics report;
     match protocol_of_name pname with
     | Error e -> fail "%s" e
     | Ok protocol -> (
@@ -164,20 +196,24 @@ let run_cmd =
               | None -> Sb_util.Bitvec.random rng n
             in
             let setup = Core.Setup.{ default with n; thresh; seed } in
-            let r = Core.Announced.run_once setup ~protocol ~adversary ~x rng in
+            let r =
+              Sb_obs.Span.with_span ~attrs:[ ("protocol", pname) ] "run" (fun () ->
+                  Core.Announced.run_once setup ~protocol ~adversary ~x rng)
+            in
             Printf.printf "protocol   : %s\n" protocol.Sb_sim.Protocol.name;
             Printf.printf "adversary  : %s (corrupted %s)\n" adversary.Sb_sim.Adversary.name
               (String.concat "," (List.map string_of_int r.Core.Announced.corrupted));
             Printf.printf "inputs     : %s\n" (Sb_util.Bitvec.to_string r.Core.Announced.x);
             Printf.printf "announced  : %s\n" (Sb_util.Bitvec.to_string r.Core.Announced.w);
             Printf.printf "consistent : %b\n" r.Core.Announced.consistent;
+            finish_obs ~tag:"run" metrics report;
             `Ok ())
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol execution and print the announced vector")
     Term.(
       ret
         (const run $ protocol_arg $ n_arg $ thresh_arg $ seed_arg $ inputs_arg $ adversary_arg
-       $ verbose_arg))
+       $ verbose_arg $ metrics_arg $ report_arg))
 
 (* --- classify ------------------------------------------------------- *)
 
@@ -220,7 +256,12 @@ let test_cmd =
     let doc = "Which definition to test: cr, g, gss, or sb." in
     Arg.(value & opt string "cr" & info [ "t"; "tester" ] ~doc)
   in
-  let run tester pname aname dname n samples seed =
+  let run tester pname aname dname n samples seed metrics report =
+    setup_obs metrics report;
+    let done_obs ret =
+      finish_obs ~tag:("test-" ^ tester) metrics report;
+      ret
+    in
     match protocol_of_name pname with
     | Error e -> fail "%s" e
     | Ok protocol -> (
@@ -238,7 +279,7 @@ let test_cmd =
                       w.Core.Cr_test.honest_party w.Core.Cr_test.predicate Sb_stats.Estimate.pp
                       w.Core.Cr_test.gap
                 | None -> ());
-                `Ok ()
+                done_obs (`Ok ())
             | "g" ->
                 let r = Core.G_test.run setup ~protocol ~adversary ~dist () in
                 Printf.printf "G verdict: %s (buckets %d used, %d skipped)\n"
@@ -250,7 +291,7 @@ let test_cmd =
                       (Sb_util.Bitvec.to_string w.Core.G_test.bucket) w.Core.G_test.corrupted_party
                       Sb_stats.Estimate.pp w.Core.G_test.gap
                 | None -> ());
-                `Ok ()
+                done_obs (`Ok ())
             | "gss" ->
                 let r = Core.Gss_test.run setup ~protocol ~adversary () in
                 Printf.printf "G** verdict: %s\n" (Sb_stats.Verdict.to_string r.Core.Gss_test.verdict);
@@ -261,7 +302,7 @@ let test_cmd =
                       (Sb_util.Bitvec.to_string w.Core.Gss_test.s)
                       w.Core.Gss_test.corrupted_party Sb_stats.Estimate.pp w.Core.Gss_test.gap
                 | None -> ());
-                `Ok ()
+                done_obs (`Ok ())
             | "sb" ->
                 let r =
                   Core.Sb_test.run setup ~protocol ~adversary ~dist
@@ -279,7 +320,7 @@ let test_cmd =
                 | Some t, Some b ->
                     Printf.printf "joint TVD vs truthful simulator: %.4f (baseline %.4f)\n" t b
                 | _ -> ());
-                `Ok ()
+                done_obs (`Ok ())
             | other -> fail "unknown tester %S (cr, g, gss, sb)" other))
   in
   Cmd.v
@@ -287,7 +328,7 @@ let test_cmd =
     Term.(
       ret
         (const run $ tester_arg $ protocol_arg $ adversary_arg $ dist_arg $ n_arg $ samples_arg
-       $ seed_arg))
+       $ seed_arg $ metrics_arg $ report_arg))
 
 (* --- exact ----------------------------------------------------------- *)
 
@@ -338,46 +379,64 @@ let exact_cmd =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id (e1..e12)." in
+    let doc = "Experiment id (e1..e8, e10..e14)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let quick_arg =
     let doc = "Reduced sample budget." in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let run id quick =
+  let csv_arg =
+    let doc = "Also dump the table as $(docv)/<id>.csv." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~doc ~docv:"DIR")
+  in
+  let run id quick csv metrics report =
+    setup_obs metrics report;
     let setup =
       if quick then Core.Setup.with_samples 2000 Core.Setup.default else Core.Setup.default
     in
-    let outcome =
-      match String.lowercase_ascii id with
-      | "e1" -> Some (Core.Experiments.e1_distribution_classes ~n:setup.Core.Setup.n ())
-      | "e2" -> Some (Core.Experiments.e2_cr_unachievable setup)
-      | "e3" -> Some (Core.Experiments.e3_g_unachievable setup)
-      | "e4" -> Some (Core.Experiments.e4_feasibility setup)
-      | "e5" -> Some (Core.Experiments.e5_pi_g_separation setup)
-      | "e6" -> Some (Core.Experiments.e6_singleton_trivial setup)
-      | "e7" -> Some (Core.Experiments.e7_implications setup)
-      | "e8" -> Some (Core.Experiments.e8_complexity ())
-      | "e10" -> Some (Core.Experiments.e10_gss_agreement setup)
-      | "e11" -> Some (Core.Experiments.e11_echo_attack setup)
-      | "e12" -> Some (Core.Experiments.e12_reveal_ablation setup)
-  | "e13" -> Some (Core.Experiments.e13_simulation setup)
-  | "e14" -> Some (Core.Experiments.e14_figure1 setup)
-      | _ -> None
-    in
-    match outcome with
-    | None -> fail "unknown experiment %S" id
-    | Some o ->
+    match Core.Experiments.find id with
+    | None ->
+        fail "unknown experiment %S (try: %s)" id
+          (String.concat ", " Core.Experiments.ids)
+    | Some e ->
+        let t0 = Unix.gettimeofday () in
+        let o = e.Core.Experiments.run setup in
+        let wall = Unix.gettimeofday () -. t0 in
         Sb_util.Tabular.print o.Core.Experiments.table;
+        (match csv with
+        | None -> ()
+        | Some dir ->
+            (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            let path =
+              Filename.concat dir (String.lowercase_ascii o.Core.Experiments.id ^ ".csv")
+            in
+            let oc = open_out path in
+            output_string oc (Sb_util.Tabular.to_csv o.Core.Experiments.table);
+            close_out oc;
+            Printf.printf "wrote %s\n" path);
         List.iter (Printf.printf "note: %s\n") o.Core.Experiments.notes;
         Printf.printf "%s: paper-shape check %s\n" o.Core.Experiments.id
           (if o.Core.Experiments.ok then "OK" else "MISMATCH");
+        let experiments =
+          [
+            {
+              Sb_obs.Report.id = o.Core.Experiments.id;
+              title = o.Core.Experiments.title;
+              ok = o.Core.Experiments.ok;
+              rows_checked = o.Core.Experiments.rows_checked;
+              wall_clock_s = wall;
+              notes = o.Core.Experiments.notes;
+            };
+          ]
+        in
+        finish_obs ~experiments ~tag:(String.lowercase_ascii o.Core.Experiments.id) metrics
+          report;
         `Ok ()
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E12)")
-    Term.(ret (const run $ id_arg $ quick_arg))
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E14)")
+    Term.(ret (const run $ id_arg $ quick_arg $ csv_arg $ metrics_arg $ report_arg))
 
 let () =
   let info =

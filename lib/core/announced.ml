@@ -16,7 +16,13 @@ let to_vector n m =
                 match List.nth l i with Msg.Bit b -> b | _ -> false))
   | _ -> None
 
+(* One Monte-Carlo execution = one sample; testers and experiments all
+   funnel through here, so this counter is the run's sample budget as
+   actually spent. *)
+let m_samples = Sb_obs.Metrics.counter "exp.samples_drawn"
+
 let run_once setup ~protocol ~adversary ~x ?(aux = Msg.Unit) rng =
+  Sb_obs.Metrics.incr m_samples;
   let ctx = Setup.fresh_ctx setup (Rng.split rng) in
   let inputs = Array.init setup.Setup.n (fun i -> Msg.Bit (Bitvec.get x i)) in
   let r = Network.run ctx ~rng ~protocol ~adversary ~inputs ~aux () in

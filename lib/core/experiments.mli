@@ -49,5 +49,26 @@ val e14_figure1 : Setup.t -> outcome
     renders the verified diagram; the closing artifact of the bench
     run. Note: re-runs those experiments at the given setup. *)
 
+type entry = {
+  id : string;  (** canonical id, e.g. "E5" *)
+  title : string;
+  run : Setup.t -> outcome;
+}
+(** One catalogue entry. [run] wraps the raw driver in an
+    observability span ["experiment:<id>"] and rolls rows-checked /
+    verdict counters into {!Sb_obs.Metrics}; with the layer disabled it
+    is the bare driver. Both front ends (bench/main.exe and
+    [simbcast experiment]) dispatch through this registry, so the id
+    lists cannot drift. *)
+
+val registry : entry list
+(** Every experiment, in canonical order (E9 is the Bechamel timing
+    section of bench/main.ml, not a table). *)
+
+val ids : string list
+
+val find : string -> entry option
+(** Case-insensitive lookup by id. *)
+
 val all : ?setup:Setup.t -> unit -> outcome list
 (** Every experiment at the given (default) setup, in order. *)

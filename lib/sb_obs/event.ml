@@ -1,0 +1,11 @@
+let counter = ref 0
+
+let emit ?(fields = []) name =
+  if Sink.attached () > 0 then begin
+    incr counter;
+    let obj = Json.Obj (("ev", Json.Str name) :: ("seq", Json.Int !counter) :: fields) in
+    Sink.write_line (Json.to_string obj)
+  end
+
+let seq () = !counter
+let reset () = counter := 0

@@ -1,0 +1,15 @@
+(** Structured JSON-lines events.
+
+    Each event serializes as one compact JSON object
+    [{"ev": name, "seq": n, ...fields}] broadcast to the attached
+    {!Sink}s. [seq] is a process-wide monotonically increasing ordinal
+    (deterministic, unlike a timestamp). With no sinks attached the
+    call is near-free and [seq] does not advance. *)
+
+val emit : ?fields:(string * Json.t) list -> string -> unit
+
+val seq : unit -> int
+(** Events emitted so far (to attached sinks). *)
+
+val reset : unit -> unit
+(** Reset the ordinal (sinks stay attached). *)

@@ -1,0 +1,78 @@
+let schema_version = 1
+
+type experiment_entry = {
+  id : string;
+  title : string;
+  ok : bool;
+  rows_checked : int;
+  wall_clock_s : float;
+  notes : string list;
+}
+
+type timing_entry = { bench_name : string; ns_per_run : float; r_square : float }
+
+let experiment_to_json (e : experiment_entry) =
+  Json.Obj
+    [
+      ("id", Json.Str e.id);
+      ("title", Json.Str e.title);
+      ("ok", Json.Bool e.ok);
+      ("rows_checked", Json.Int e.rows_checked);
+      ("wall_clock_s", Json.Float e.wall_clock_s);
+      ("notes", Json.List (List.map (fun n -> Json.Str n) e.notes));
+    ]
+
+let timing_to_json (t : timing_entry) =
+  Json.Obj
+    [
+      ("name", Json.Str t.bench_name);
+      ("ns_per_run", Json.Float t.ns_per_run);
+      ("r_square", Json.Float t.r_square);
+    ]
+
+let make ?(tool = "simbcast") ?(tag = "run") ?(experiments = []) ?(timings = []) () =
+  Json.Obj
+    ([
+       ("schema_version", Json.Int schema_version);
+       ("tool", Json.Str tool);
+       ("tag", Json.Str tag);
+       ("experiments", Json.List (List.map experiment_to_json experiments));
+     ]
+    @ (if timings = [] then []
+       else [ ("timings", Json.List (List.map timing_to_json timings)) ])
+    @ [ ("metrics", Metrics.to_json ()); ("spans", Span.to_json ()) ])
+
+let write_file path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:true json);
+      output_char oc '\n')
+
+let validate json =
+  let ( let* ) r f = Result.bind r f in
+  let require msg = function Some x -> Ok x | None -> Error msg in
+  let* v = require "missing schema_version" (Json.member "schema_version" json) in
+  let* v = require "schema_version not an int" (Json.to_int_opt v) in
+  let* () =
+    if v = schema_version then Ok ()
+    else Error (Printf.sprintf "schema_version %d, expected %d" v schema_version)
+  in
+  let* exps = require "missing experiments" (Json.member "experiments" json) in
+  let* exps = require "experiments not a list" (Json.to_list_opt exps) in
+  let* () =
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        let* id = require "experiment missing id" (Json.member "id" e) in
+        let* id = require "experiment id not a string" (Json.to_str_opt id) in
+        let* _ = require (id ^ ": missing ok") (Json.member "ok" e) in
+        let* wc = require (id ^ ": missing wall_clock_s") (Json.member "wall_clock_s" e) in
+        let* _ = require (id ^ ": wall_clock_s not numeric") (Json.to_float_opt wc) in
+        Ok ())
+      (Ok ()) exps
+  in
+  let* metrics = require "missing metrics" (Json.member "metrics" json) in
+  let* _ = require "metrics missing counters" (Json.member "counters" metrics) in
+  Ok ()

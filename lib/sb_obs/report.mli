@@ -1,0 +1,38 @@
+(** Versioned machine-readable run reports.
+
+    A report bundles per-experiment outcomes with the current metrics
+    snapshot and completed spans into one JSON document. The schema is
+    versioned so downstream tooling (perf-trajectory diffing, CI
+    smoke checks) can evolve safely; bump {!schema_version} on any
+    incompatible change and document it in EXPERIMENTS.md. *)
+
+val schema_version : int
+
+type experiment_entry = {
+  id : string;
+  title : string;
+  ok : bool;
+  rows_checked : int;
+  wall_clock_s : float;
+  notes : string list;
+}
+
+type timing_entry = { bench_name : string; ns_per_run : float; r_square : float }
+
+val make :
+  ?tool:string ->
+  ?tag:string ->
+  ?experiments:experiment_entry list ->
+  ?timings:timing_entry list ->
+  unit ->
+  Json.t
+(** Assembles the report from the given outcomes plus
+    [Metrics.to_json ()] and [Span.to_json ()] as they stand. *)
+
+val write_file : string -> Json.t -> unit
+(** Pretty-printed, trailing newline. *)
+
+val validate : Json.t -> (unit, string) result
+(** Structural check: schema_version matches, the experiments array is
+    well-formed (id/ok/wall_clock_s present), metrics object present.
+    Used by tests and the CI smoke step. *)

@@ -1,0 +1,34 @@
+type t = { id : int; write : string -> unit; flush : unit -> unit }
+
+let next_id = ref 0
+
+let make write flush =
+  incr next_id;
+  { id = !next_id; write; flush }
+
+let null = make (fun _ -> ()) (fun () -> ())
+
+let memory () =
+  let buf = ref [] in
+  let sink = make (fun line -> buf := line :: !buf) (fun () -> ()) in
+  (sink, fun () -> List.rev !buf)
+
+let of_channel oc =
+  make
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (fun () -> flush oc)
+
+let sinks : t list ref = ref []
+let attach s = sinks := s :: !sinks
+let detach s = sinks := List.filter (fun s' -> s'.id <> s.id) !sinks
+let detach_all () = sinks := []
+let attached () = List.length !sinks
+
+let write_line line =
+  match !sinks with
+  | [] -> ()
+  | active -> List.iter (fun s -> s.write line) active
+
+let flush_all () = List.iter (fun s -> s.flush ()) !sinks

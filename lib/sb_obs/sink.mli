@@ -1,0 +1,26 @@
+(** Pluggable destinations for JSON-lines event emission.
+
+    A sink consumes complete lines (no trailing newline). Attach any
+    number of sinks; {!Event.emit} broadcasts to all of them. With no
+    sinks attached, emission is a single list-empty check. *)
+
+type t
+
+val null : t
+(** Swallows everything. *)
+
+val memory : unit -> t * (unit -> string list)
+(** An in-process buffer and its reader (lines in emission order). *)
+
+val of_channel : out_channel -> t
+(** Writes each line + ['\n'] and flushes on [flush_all]. *)
+
+val attach : t -> unit
+val detach : t -> unit
+val detach_all : unit -> unit
+val attached : unit -> int
+
+val write_line : string -> unit
+(** Broadcast one line to every attached sink. *)
+
+val flush_all : unit -> unit

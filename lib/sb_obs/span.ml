@@ -1,0 +1,88 @@
+type record = {
+  name : string;
+  depth : int;
+  parent : string option;
+  start_s : float;
+  duration_s : float;
+  minor_words : float;
+  major_words : float;
+  attrs : (string * string) list;
+}
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+(* Innermost-first stack of open span names; completed records in
+   reverse completion order. *)
+let open_spans : string list ref = ref []
+let completed : record list ref = ref []
+
+let with_span ?(attrs = []) name f =
+  if not !on then f ()
+  else begin
+    let parent = match !open_spans with [] -> None | p :: _ -> Some p in
+    let depth = List.length !open_spans in
+    open_spans := name :: !open_spans;
+    (* Gc.counters, not quick_stat: the latter only refreshes its
+       allocation totals at collection boundaries, so short spans would
+       read as zero-allocation. *)
+    let min0, _, maj0 = Gc.counters () in
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      let t1 = Unix.gettimeofday () in
+      let min1, _, maj1 = Gc.counters () in
+      open_spans := (match !open_spans with _ :: rest -> rest | [] -> []);
+      completed :=
+        {
+          name;
+          depth;
+          parent;
+          start_s = t0;
+          duration_s = t1 -. t0;
+          minor_words = min1 -. min0;
+          major_words = maj1 -. maj0;
+          attrs;
+        }
+        :: !completed
+    in
+    let r = Fun.protect ~finally:finish f in
+    (match !completed with
+    | span :: _ ->
+        Event.emit "span"
+          ~fields:
+            ([
+               ("name", Json.Str span.name);
+               ("depth", Json.Int span.depth);
+               ("duration_s", Json.Float span.duration_s);
+               ("minor_words", Json.Float span.minor_words);
+               ("major_words", Json.Float span.major_words);
+             ]
+            @ List.map (fun (k, v) -> (k, Json.Str v)) span.attrs)
+    | [] -> ());
+    r
+  end
+
+let records () = List.rev !completed
+let find name = List.find_opt (fun r -> String.equal r.name name) !completed
+
+let reset () =
+  open_spans := [];
+  completed := []
+
+let record_to_json r =
+  Json.Obj
+    ([
+       ("name", Json.Str r.name);
+       ("depth", Json.Int r.depth);
+       ("parent", match r.parent with Some p -> Json.Str p | None -> Json.Null);
+       ("start_s", Json.Float r.start_s);
+       ("duration_s", Json.Float r.duration_s);
+       ("minor_words", Json.Float r.minor_words);
+       ("major_words", Json.Float r.major_words);
+     ]
+    @ match r.attrs with
+      | [] -> []
+      | attrs -> [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)) ])
+
+let to_json () = Json.List (List.map record_to_json (records ()))

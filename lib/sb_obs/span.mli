@@ -1,0 +1,38 @@
+(** Scoped spans: monotonic-enough wall-clock timing
+    ([Unix.gettimeofday]) plus [Gc.counters] allocation deltas, with
+    lexical nesting tracked by depth.
+
+    Like {!Metrics}, spans are disabled by default; [with_span] then
+    only runs the thunk. Completed spans accumulate in a process-wide
+    list (completion order — inner spans close before their parents).
+    Each completed span is also emitted as a ["span"] event through
+    {!Event.emit}, so attached JSONL sinks see one line per span. *)
+
+type record = {
+  name : string;
+  depth : int;  (** 0 = top level *)
+  parent : string option;  (** enclosing span's name, if any *)
+  start_s : float;  (** seconds since the epoch *)
+  duration_s : float;
+  minor_words : float;  (** allocation delta over the span *)
+  major_words : float;
+  attrs : (string * string) list;
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Runs the thunk; when enabled, records a {!record} even if the thunk
+    raises (the exception is re-raised). *)
+
+val records : unit -> record list
+(** Completed spans, in completion order. *)
+
+val find : string -> record option
+(** Most recently completed span with the given name. *)
+
+val reset : unit -> unit
+
+val to_json : unit -> Json.t
+(** Array of span objects, completion order. *)

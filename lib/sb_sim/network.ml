@@ -11,6 +11,30 @@ let log_src = Logs.Src.create "sb.network" ~doc:"simulated network round events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Observability handles. Interned once; every update is guarded by
+   [Metrics.enabled] so a disabled run pays one boolean load per round.
+   None of this touches the split RNG streams: seeded protocol outputs
+   are identical with metrics on or off. *)
+let m_runs = Sb_obs.Metrics.counter "sim.runs"
+let m_rounds = Sb_obs.Metrics.counter "sim.rounds"
+let m_honest = Sb_obs.Metrics.counter "sim.envelopes.honest"
+let m_adv = Sb_obs.Metrics.counter "sim.envelopes.adv"
+let m_func = Sb_obs.Metrics.counter "sim.envelopes.func"
+let m_bcast = Sb_obs.Metrics.counter "sim.broadcasts"
+let m_p2p = Sb_obs.Metrics.counter "sim.p2p"
+let m_forged = Sb_obs.Metrics.counter "sim.forgeries_dropped"
+let h_round_us = Sb_obs.Metrics.histogram "sim.round_duration_us"
+
+let count_channels envs =
+  (* (broadcast, p2p) among party-sourced traffic; ideal-channel
+     envelopes are counted separately under sim.envelopes.func. *)
+  List.fold_left
+    (fun (b, p) e ->
+      if Envelope.is_func_bound e then (b, p)
+      else if Envelope.is_broadcast e then (b + 1, p)
+      else (b, p + 1))
+    (0, 0) envs
+
 let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~inputs
     ?(aux = Msg.Unit) () =
   let n = ctx.n in
@@ -45,7 +69,10 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
   (* envelopes to deliver next round *)
   let trace = ref [] in
   let deliveries_to id envs = List.filter (fun e -> Envelope.delivered_to e id) envs in
+  Sb_obs.Metrics.incr m_runs;
   for round = 0 to total_rounds do
+    let metrics_on = Sb_obs.Metrics.enabled () in
+    let t0 = if metrics_on then Unix.gettimeofday () else 0.0 in
     let inbox_all = !pending in
     let last = round = total_rounds in
     (* 1. Honest parties step. *)
@@ -82,7 +109,18 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
           (List.length honest_out) (List.length adv_out) (List.length func_in)
           (List.length func_out)
           (if last then " (final)" else ""));
-    (* 5. Queue next-round deliveries. *)
+    (* 5. Record round observations, then queue next-round deliveries. *)
+    if metrics_on then begin
+      Sb_obs.Metrics.incr m_rounds;
+      Sb_obs.Metrics.incr ~by:(List.length honest_out) m_honest;
+      Sb_obs.Metrics.incr ~by:(List.length adv_out) m_adv;
+      Sb_obs.Metrics.incr ~by:(List.length func_out) m_func;
+      Sb_obs.Metrics.incr ~by:(List.length adv_out_raw - List.length adv_out) m_forged;
+      let hb, hp = count_channels honest_out and ab, ap = count_channels adv_out in
+      Sb_obs.Metrics.incr ~by:(hb + ab) m_bcast;
+      Sb_obs.Metrics.incr ~by:(hp + ap) m_p2p;
+      Sb_obs.Metrics.observe h_round_us ((Unix.gettimeofday () -. t0) *. 1e6)
+    end;
     pending := List.filter (fun e -> not (Envelope.is_func_bound e)) all_out @ func_out;
     if not last then
       trace :=
@@ -90,6 +128,20 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
         :: !trace
   done;
   let trace = List.rev !trace in
+  if Sb_obs.Sink.attached () > 0 then
+    Sb_obs.Event.emit "network.run"
+      ~fields:
+      [
+        ("protocol", Sb_obs.Json.Str protocol.name);
+        ("rounds", Sb_obs.Json.Int total_rounds);
+        ("corrupted", Sb_obs.Json.Int (List.length corrupted));
+        ("p2p", Sb_obs.Json.Int (Trace.p2p_message_count trace));
+        ( "per_round",
+          Sb_obs.Json.List
+            (List.map
+               (fun (h, a, f) -> Sb_obs.Json.List [ Sb_obs.Json.Int h; Sb_obs.Json.Int a; Sb_obs.Json.Int f ])
+               (Trace.per_round_counts trace)) );
+      ];
   {
     outputs = List.map (fun (id, party) -> (id, party.Party.output ())) parties;
     adv_output = strategy.Adversary.adv_output ();

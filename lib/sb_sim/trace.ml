@@ -25,17 +25,22 @@ let broadcast_count trace =
 let total_transmissions trace = p2p_message_count trace + broadcast_count trace
 
 let messages_from trace src =
-  List.fold_left
-    (fun acc r ->
-      acc
-      + List.length
-          (List.filter (fun e -> Envelope.src_party e = Some src) (r.honest_sent @ r.adv_sent)))
-    0 trace
+  let count_from =
+    List.fold_left (fun acc e -> if Envelope.src_party e = Some src then acc + 1 else acc)
+  in
+  List.fold_left (fun acc r -> count_from (count_from acc r.honest_sent) r.adv_sent) 0 trace
+
+let per_round_counts trace =
+  List.map
+    (fun r -> (List.length r.honest_sent, List.length r.adv_sent, List.length r.func_sent))
+    trace
 
 let pp fmt trace =
   List.iter
     (fun r ->
       Format.fprintf fmt "round %d:@." r.round;
-      List.iter (fun e -> Format.fprintf fmt "  %a@." Envelope.pp e)
-        (r.honest_sent @ r.adv_sent @ r.func_sent))
+      let each e = Format.fprintf fmt "  %a@." Envelope.pp e in
+      List.iter each r.honest_sent;
+      List.iter each r.adv_sent;
+      List.iter each r.func_sent)
     trace

@@ -27,4 +27,10 @@ val total_transmissions : t -> int
     the protocols are written for). *)
 
 val messages_from : t -> int -> int
+
+val per_round_counts : t -> (int * int * int) list
+(** Per round, [(honest, adversary, functionality)] envelope counts —
+    the raw series behind the observability layer's per-round
+    counters. *)
+
 val pp : Format.formatter -> t -> unit
