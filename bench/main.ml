@@ -156,6 +156,16 @@ let () =
   Sb_obs.Metrics.set_enabled true;
   Sb_obs.Span.set_enabled true;
   let args = List.tl (Array.to_list Sys.argv) in
+  let jobs_prefix = "--jobs=" in
+  let jobs_of a =
+    let pl = String.length jobs_prefix in
+    if String.length a > pl && String.sub a 0 pl = jobs_prefix then
+      int_of_string_opt (String.sub a pl (String.length a - pl))
+    else None
+  in
+  (match List.find_map jobs_of args with
+  | Some j -> Sb_par.Pool.set_default_domains j
+  | None -> ());
   let quick = List.mem "quick" args in
   let setup =
     if quick then Core.Setup.with_samples 2000 Core.Setup.default else Core.Setup.default
@@ -167,7 +177,8 @@ let () =
     List.filter
       (fun a ->
         a <> "quick" && a <> "timing" && a <> "tables"
-        && not (String.length a > 6 && String.sub a 0 6 = "--csv="))
+        && not (String.length a > 6 && String.sub a 0 6 = "--csv=")
+        && jobs_of a = None)
       args
   in
   let timing_only = List.mem "timing" args in
@@ -195,7 +206,11 @@ let () =
         })
       outcomes
   in
-  let report = Sb_obs.Report.make ~tool:"bench" ~tag ~experiments ~timings () in
+  let report =
+    Sb_obs.Report.make ~tool:"bench" ~tag
+      ~jobs:(Sb_par.Pool.get_default_domains ())
+      ~experiments ~timings ()
+  in
   let path = Printf.sprintf "BENCH_%s.json" tag in
   Sb_obs.Report.write_file path report;
   say "wrote %s" path

@@ -98,6 +98,17 @@ let adversary_arg =
   let doc = "Adversary name." in
   Arg.(value & opt string "passive" & info [ "a"; "adversary" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for Monte-Carlo sampling (default: physical cores). Results \
+     are byte-identical for every value, including 1."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
+let setup_jobs = function
+  | None -> ()
+  | Some j -> Sb_par.Pool.set_default_domains j
+
 let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
 
 let resolve_thresh n = function Some t -> t | None -> (n - 1) / 2
@@ -125,7 +136,11 @@ let finish_obs ?(experiments = []) ~tag metrics report =
   match report with
   | None -> ()
   | Some file -> (
-      let report = Sb_obs.Report.make ~tool:"simbcast" ~tag ~experiments () in
+      let report =
+        Sb_obs.Report.make ~tool:"simbcast" ~tag
+          ~jobs:(Sb_par.Pool.get_default_domains ())
+          ~experiments ()
+      in
       try
         Sb_obs.Report.write_file file report;
         Printf.printf "wrote %s\n" file
@@ -177,9 +192,10 @@ let run_cmd =
     let doc = "Input bit vector, e.g. 10110 (defaults to uniform random)." in
     Arg.(value & opt (some string) None & info [ "x"; "inputs" ] ~doc)
   in
-  let run pname n thresh seed inputs adversary_name verbose metrics report =
+  let run pname n thresh seed inputs adversary_name verbose metrics report jobs =
     setup_logging verbose;
     setup_obs metrics report;
+    setup_jobs jobs;
     match protocol_of_name pname with
     | Error e -> fail "%s" e
     | Ok protocol -> (
@@ -213,7 +229,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ protocol_arg $ n_arg $ thresh_arg $ seed_arg $ inputs_arg $ adversary_arg
-       $ verbose_arg $ metrics_arg $ report_arg))
+       $ verbose_arg $ metrics_arg $ report_arg $ jobs_arg))
 
 (* --- classify ------------------------------------------------------- *)
 
@@ -256,8 +272,9 @@ let test_cmd =
     let doc = "Which definition to test: cr, g, gss, or sb." in
     Arg.(value & opt string "cr" & info [ "t"; "tester" ] ~doc)
   in
-  let run tester pname aname dname n samples seed metrics report =
+  let run tester pname aname dname n samples seed metrics report jobs =
     setup_obs metrics report;
+    setup_jobs jobs;
     let done_obs ret =
       finish_obs ~tag:("test-" ^ tester) metrics report;
       ret
@@ -328,7 +345,7 @@ let test_cmd =
     Term.(
       ret
         (const run $ tester_arg $ protocol_arg $ adversary_arg $ dist_arg $ n_arg $ samples_arg
-       $ seed_arg $ metrics_arg $ report_arg))
+       $ seed_arg $ metrics_arg $ report_arg $ jobs_arg))
 
 (* --- exact ----------------------------------------------------------- *)
 
@@ -390,8 +407,9 @@ let experiment_cmd =
     let doc = "Also dump the table as $(docv)/<id>.csv." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc ~docv:"DIR")
   in
-  let run id quick csv metrics report =
+  let run id quick csv metrics report jobs =
     setup_obs metrics report;
+    setup_jobs jobs;
     let setup =
       if quick then Core.Setup.with_samples 2000 Core.Setup.default else Core.Setup.default
     in
@@ -436,7 +454,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E14)")
-    Term.(ret (const run $ id_arg $ quick_arg $ csv_arg $ metrics_arg $ report_arg))
+    Term.(ret (const run $ id_arg $ quick_arg $ csv_arg $ metrics_arg $ report_arg $ jobs_arg))
 
 let () =
   let info =

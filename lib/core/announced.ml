@@ -25,7 +25,9 @@ let run_once setup ~protocol ~adversary ~x ?(aux = Msg.Unit) rng =
   Sb_obs.Metrics.incr m_samples;
   let ctx = Setup.fresh_ctx setup (Rng.split rng) in
   let inputs = Array.init setup.Setup.n (fun i -> Msg.Bit (Bitvec.get x i)) in
-  let r = Network.run ctx ~rng ~protocol ~adversary ~inputs ~aux () in
+  (* Samplers never read the trace; not recording it removes the
+     dominant allocation of a simulated run. *)
+  let r = Network.run ctx ~rng ~protocol ~adversary ~inputs ~aux ~record_trace:false () in
   let vectors =
     List.map (fun (_, m) -> to_vector setup.Setup.n m) r.Network.outputs
   in
@@ -43,6 +45,46 @@ let sample setup ~protocol ~adversary ~dist ?(aux = Msg.Unit) rng f =
     let x = Sb_dist.Dist.sample dist (Rng.split rng) in
     f (run_once setup ~protocol ~adversary ~x ~aux (Rng.split rng))
   done
+
+(* Fixed fan-out width: results do not depend on it (the merge is a
+   pure fold in chunk order over pre-split streams), so it is chosen
+   for load balance alone — several chunks per worker at every
+   realistic pool size. *)
+let psample_chunks = 32
+
+(* Per-domain share of the sample budget, surfaced in run reports. *)
+let note_domain_samples len =
+  Sb_obs.Metrics.incr ~by:len
+    (Sb_obs.Metrics.counter
+       (Printf.sprintf "par.domain%d.samples" (Sb_par.Pool.worker_index ())))
+
+let psample ?pool setup ~protocol ~adversary ~dist ?(aux = Msg.Unit) ~init ~f ~merge rng =
+  let pool = match pool with Some p -> p | None -> Sb_par.Pool.default () in
+  let total = setup.Setup.samples in
+  (* The sequential loop above performs exactly two master splits per
+     sample (input draw, execution); streams 2i and 2i+1 are those same
+     children, so every chunking — including one chunk — replays the
+     sequential per-sample randomness byte for byte. *)
+  let streams = Sb_par.Partition.streams rng ~total ~draws_per_item:2 in
+  let chunks = Sb_par.Partition.chunks ~total ~jobs:psample_chunks in
+  let accs =
+    Sb_par.Pool.map_chunks pool chunks ~f:(fun { Sb_par.Partition.lo; len } ->
+        let acc = init () in
+        for i = lo to lo + len - 1 do
+          let x = Sb_dist.Dist.sample dist streams.(2 * i) in
+          f acc i (run_once setup ~protocol ~adversary ~x ~aux streams.((2 * i) + 1))
+        done;
+        note_domain_samples len;
+        acc)
+  in
+  if Array.length accs = 0 then init ()
+  else begin
+    let first = accs.(0) in
+    for k = 1 to Array.length accs - 1 do
+      merge ~into:first accs.(k)
+    done;
+    first
+  end
 
 let corrupted_of setup ~protocol ~adversary =
   let rng = Rng.create setup.Setup.seed in

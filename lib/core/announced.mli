@@ -34,7 +34,40 @@ val sample :
   (run -> unit) ->
   unit
 (** Draw [setup.samples] inputs from [dist], run the protocol on each,
-    and feed every run to the callback. *)
+    and feed every run to the callback, sequentially on the calling
+    domain. *)
+
+val psample :
+  ?pool:Sb_par.Pool.t ->
+  Setup.t ->
+  protocol:Sb_sim.Protocol.t ->
+  adversary:Sb_sim.Adversary.t ->
+  dist:Sb_dist.Dist.t ->
+  ?aux:Sb_sim.Msg.t ->
+  init:(unit -> 'acc) ->
+  f:('acc -> int -> run -> unit) ->
+  merge:(into:'acc -> 'acc -> unit) ->
+  Sb_util.Rng.t ->
+  'acc
+(** Domain-parallel [sample]. The sample index space is cut into
+    contiguous chunks, each chunk gets its own accumulator from [init]
+    and the pre-split RNG streams of its samples, and the per-chunk
+    accumulators are merged left-to-right in chunk order at the
+    barrier. [f acc i run] receives the global sample index [i] so
+    order-sensitive consumers can reconstruct sequential order.
+
+    Determinism: sample [i] sees exactly the two generators the
+    sequential [sample] loop would have split off the same master
+    [rng], for every pool size including 1 — provided [f]/[merge]
+    depend only on indices and run contents (all in-tree accumulators
+    are integer counters or index-addressed slots), the result is
+    byte-identical across [--jobs] settings and to the sequential
+    path. [pool] defaults to {!Sb_par.Pool.default}. *)
+
+val note_domain_samples : int -> unit
+(** Credit [len] samples to the calling domain's
+    [par.domain<k>.samples] counter. Called by [psample]; exposed for
+    samplers that drive {!Sb_par.Pool} directly. *)
 
 val corrupted_of :
   Setup.t -> protocol:Sb_sim.Protocol.t -> adversary:Sb_sim.Adversary.t -> int list

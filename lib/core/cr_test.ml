@@ -14,9 +14,14 @@ type result = {
   inconsistent_runs : int;
 }
 
-let drop_index arr i =
-  Array.of_list
-    (List.filteri (fun j _ -> j <> i) (Array.to_list arr))
+(* Per-chunk accumulator: the event counters plus reusable scratch
+   buffers, so the per-sample loop allocates nothing. *)
+type acc = {
+  counters : (int * (Predicate.t * Sb_stats.Counts.event) list) list;
+  mutable inconsistent : int;
+  w_buf : bool array;    (* length n: the announced vector of this run *)
+  red_buf : bool array;  (* length n-1: w with one honest index dropped *)
+}
 
 let run setup ~protocol ~adversary ~dist ?predicates () =
   let n = setup.Setup.n in
@@ -24,25 +29,52 @@ let run setup ~protocol ~adversary ~dist ?predicates () =
   let corrupted = Announced.corrupted_of setup ~protocol ~adversary in
   let honest = Subset.complement n corrupted in
   (* One event-pair counter per (honest i, predicate). *)
-  let counters =
-    List.map
-      (fun i -> (i, List.map (fun p -> (p, Sb_stats.Counts.event_pair ())) predicates))
-      honest
+  let init () =
+    {
+      counters =
+        List.map
+          (fun i -> (i, List.map (fun p -> (p, Sb_stats.Counts.event_pair ())) predicates))
+          honest;
+      inconsistent = 0;
+      w_buf = Array.make n false;
+      red_buf = Array.make (max 0 (n - 1)) false;
+    }
   in
-  let inconsistent = ref 0 in
+  let record acc _index run =
+    if not run.Announced.consistent then acc.inconsistent <- acc.inconsistent + 1;
+    for j = 0 to n - 1 do
+      acc.w_buf.(j) <- Bitvec.get run.Announced.w j
+    done;
+    List.iter
+      (fun (i, per_pred) ->
+        let wi_zero = not acc.w_buf.(i) in
+        let k = ref 0 in
+        for j = 0 to n - 1 do
+          if j <> i then begin
+            acc.red_buf.(!k) <- acc.w_buf.(j);
+            incr k
+          end
+        done;
+        List.iter
+          (fun ((p : Predicate.t), counter) ->
+            Sb_stats.Counts.record counter ~a:wi_zero ~b:(p.Predicate.eval acc.red_buf))
+          per_pred)
+      acc.counters
+  in
+  let merge ~into src =
+    into.inconsistent <- into.inconsistent + src.inconsistent;
+    List.iter2
+      (fun (_, into_preds) (_, src_preds) ->
+        List.iter2
+          (fun (_, into_ev) (_, src_ev) -> Sb_stats.Counts.event_merge_into ~into:into_ev src_ev)
+          into_preds src_preds)
+      into.counters src.counters
+  in
   let rng = Rng.create setup.Setup.seed in
-  Announced.sample setup ~protocol ~adversary ~dist rng (fun run ->
-      if not run.Announced.consistent then incr inconsistent;
-      let w = Bitvec.to_bools run.Announced.w in
-      List.iter
-        (fun (i, per_pred) ->
-          let wi_zero = not w.(i) in
-          let reduced = drop_index w i in
-          List.iter
-            (fun ((p : Predicate.t), counter) ->
-              Sb_stats.Counts.record counter ~a:wi_zero ~b:(p.Predicate.eval reduced))
-            per_pred)
-        counters);
+  let acc =
+    Announced.psample setup ~protocol ~adversary ~dist ~init ~f:record ~merge rng
+  in
+  let counters = acc.counters and inconsistent = ref acc.inconsistent in
   let findings =
     List.concat_map
       (fun (i, per_pred) ->

@@ -197,6 +197,17 @@ let e4_feasibility setup =
     [ Sb_protocols.Cgma.protocol; Sb_protocols.Chor_rabin.protocol; Sb_protocols.Gennaro.protocol ]
   in
   let corrupt = [ n - 2; n - 1 ] in
+  (* The G tester splits its budget over 2^(n-2) honest buckets; the
+     quick-tier budget leaves ~1000 samples per bucket, whose Wilson
+     interval widths land the gap bound exactly on the PASS threshold
+     and flip verdicts on noise. Floor the budget at 2000 per bucket so
+     this row tests the protocol, not the estimator. (The full tier
+     already exceeds the floor; its results are unchanged.) *)
+  let g4_setup =
+    Setup.with_samples
+      (max (4 * setup.Setup.samples) (2000 * (1 lsl (n - 2))))
+      setup
+  in
   let checks =
     List.concat_map
       (fun (p : Sb_sim.Protocol.t) ->
@@ -211,7 +222,7 @@ let e4_feasibility setup =
             List.map
               (fun (aname, adversary) ->
                 let cr = Cr_test.run setup ~protocol:p ~adversary ~dist () in
-                let g = G_test.run (g_setup setup) ~protocol:p ~adversary ~dist () in
+                let g = G_test.run g4_setup ~protocol:p ~adversary ~dist () in
                 let worst =
                   match cr.Cr_test.worst with
                   | Some w -> cell_interval w.Cr_test.gap
@@ -326,14 +337,23 @@ let e6_singleton_trivial setup =
      the two singletons is therefore <= 1 for every simulator; the real
      protocol achieves 2. *)
   let match_rate x =
-    let hits = ref 0 in
     let m = max 200 (setup.Setup.samples / 10) in
     let rng = Rng.create setup.Setup.seed in
-    for _ = 1 to m do
-      let r = Announced.run_once setup ~protocol:p ~adversary:echo ~x (Rng.split rng) in
-      if Bitvec.get r.Announced.w (n - 1) = Bitvec.get x 0 then incr hits
-    done;
-    float_of_int !hits /. float_of_int m
+    let streams = Sb_par.Partition.streams rng ~total:m ~draws_per_item:1 in
+    let chunks = Sb_par.Partition.chunks ~total:m ~jobs:32 in
+    let hits =
+      Sb_par.Pool.reduce (Sb_par.Pool.default ()) chunks
+        ~f:(fun { Sb_par.Partition.lo; len } ->
+          let h = ref 0 in
+          for t = lo to lo + len - 1 do
+            let r = Announced.run_once setup ~protocol:p ~adversary:echo ~x streams.(t) in
+            if Bitvec.get r.Announced.w (n - 1) = Bitvec.get x 0 then incr h
+          done;
+          Announced.note_domain_samples len;
+          !h)
+        ~merge:( + ) ~init:0
+    in
+    float_of_int hits /. float_of_int m
   in
   let ra = match_rate alpha and rb = match_rate beta in
   let sb_advantage = ra +. rb -. 1.0 in
@@ -554,6 +574,12 @@ let e10_gss_agreement setup =
 
 (* --- E11: the echo attack, quantified (Section 3.2) ----------------- *)
 
+type e11_acc = {
+  mutable match_target : int;
+  mutable match_own : int;
+  mutable e11_total : int;
+}
+
 let e11_echo_attack setup =
   let n = setup.Setup.n in
   let table =
@@ -582,17 +608,25 @@ let e11_echo_attack setup =
   let checks =
     List.map
       (fun ((p : Sb_sim.Protocol.t), aname, adversary, expect_correlated) ->
-        let match_target = ref 0 and match_own = ref 0 and total = ref 0 in
         let rng = Rng.create setup.Setup.seed in
         let small = Setup.with_samples (max 500 (setup.Setup.samples / 4)) setup in
-        Announced.sample small ~protocol:p ~adversary ~dist:uniform rng (fun r ->
-            incr total;
-            if Bitvec.get r.Announced.w copier = Bitvec.get r.Announced.w target then
-              incr match_target;
-            if Bitvec.get r.Announced.w copier = Bitvec.get r.Announced.x copier then
-              incr match_own);
-        let pt = float_of_int !match_target /. float_of_int !total in
-        let po = float_of_int !match_own /. float_of_int !total in
+        let acc =
+          Announced.psample small ~protocol:p ~adversary ~dist:uniform
+            ~init:(fun () -> { match_target = 0; match_own = 0; e11_total = 0 })
+            ~f:(fun a _ r ->
+              a.e11_total <- a.e11_total + 1;
+              if Bitvec.get r.Announced.w copier = Bitvec.get r.Announced.w target then
+                a.match_target <- a.match_target + 1;
+              if Bitvec.get r.Announced.w copier = Bitvec.get r.Announced.x copier then
+                a.match_own <- a.match_own + 1)
+            ~merge:(fun ~into s ->
+              into.match_target <- into.match_target + s.match_target;
+              into.match_own <- into.match_own + s.match_own;
+              into.e11_total <- into.e11_total + s.e11_total)
+            rng
+        in
+        let pt = float_of_int acc.match_target /. float_of_int acc.e11_total in
+        let po = float_of_int acc.match_own /. float_of_int acc.e11_total in
         let cr = Cr_test.run small ~protocol:p ~adversary ~dist:uniform () in
         Tabular.add_row table
           [

@@ -26,38 +26,65 @@ let run setup ~protocol ~adversary ~dist ?min_bucket () =
   let corrupted = Announced.corrupted_of setup ~protocol ~adversary in
   let honest = Subset.complement n corrupted in
   (* Bucket runs by the honest announced sub-vector; per bucket, count
-     runs and, per corrupted party, announced ones. *)
-  let buckets : (int, int ref * (int, int ref) Hashtbl.t) Hashtbl.t = Hashtbl.create 32 in
+     runs and, per corrupted party, announced ones. Each chunk fills
+     its own table; the barrier merge sums them, so totals are exact
+     and independent of the chunking. *)
   let key_of w =
     let bits = Bitvec.proj w honest in
     Bitvec.to_int (Bitvec.of_bools bits)
   in
+  let record (buckets : (int, int ref * (int, int ref) Hashtbl.t) Hashtbl.t) _index run =
+    let key = key_of run.Announced.w in
+    let total, ones =
+      match Hashtbl.find_opt buckets key with
+      | Some pair -> pair
+      | None ->
+          let pair = (ref 0, Hashtbl.create 4) in
+          Hashtbl.replace buckets key pair;
+          pair
+    in
+    incr total;
+    List.iter
+      (fun i ->
+        if Bitvec.get run.Announced.w i then begin
+          let c =
+            match Hashtbl.find_opt ones i with
+            | Some c -> c
+            | None ->
+                let c = ref 0 in
+                Hashtbl.replace ones i c;
+                c
+          in
+          incr c
+        end)
+      corrupted
+  in
+  let merge ~into src =
+    Hashtbl.iter
+      (fun key (s_total, s_ones) ->
+        let total, ones =
+          match Hashtbl.find_opt into key with
+          | Some pair -> pair
+          | None ->
+              let pair = (ref 0, Hashtbl.create 4) in
+              Hashtbl.replace into key pair;
+              pair
+        in
+        total := !total + !s_total;
+        Hashtbl.iter
+          (fun i s_c ->
+            match Hashtbl.find_opt ones i with
+            | Some c -> c := !c + !s_c
+            | None -> Hashtbl.replace ones i (ref !s_c))
+          s_ones)
+      src
+  in
   let rng = Rng.create setup.Setup.seed in
-  Announced.sample setup ~protocol ~adversary ~dist rng (fun run ->
-      let key = key_of run.Announced.w in
-      let total, ones =
-        match Hashtbl.find_opt buckets key with
-        | Some pair -> pair
-        | None ->
-            let pair = (ref 0, Hashtbl.create 4) in
-            Hashtbl.replace buckets key pair;
-            pair
-      in
-      incr total;
-      List.iter
-        (fun i ->
-          if Bitvec.get run.Announced.w i then begin
-            let c =
-              match Hashtbl.find_opt ones i with
-              | Some c -> c
-              | None ->
-                  let c = ref 0 in
-                  Hashtbl.replace ones i c;
-                  c
-            in
-            incr c
-          end)
-        corrupted);
+  let buckets =
+    Announced.psample setup ~protocol ~adversary ~dist
+      ~init:(fun () -> Hashtbl.create 32)
+      ~f:record ~merge rng
+  in
   let usable, skipped =
     Hashtbl.fold
       (fun key (total, ones) (u, s) ->

@@ -40,21 +40,50 @@ let run_with ~pair_mode setup ~protocol ~adversary ?w ?runs_per_point () =
     let full_vector assignment =
       Bitvec.combine w honest (Array.init h (fun pos -> (assignment lsr pos) land 1 = 1))
     in
-    (* Estimate Pr(W_i = 1) on each fixed input vector. *)
+    (* Estimate Pr(W_i = 1) on each fixed input vector. The sequential
+       loop consumed one master split per run, sequenced across
+       assignments; flattening to a single (assignment x run) index
+       space with pre-split streams replays exactly those children, so
+       the counts are byte-identical at every pool size. *)
+    let assignments_arr = Array.of_list assignments in
+    let xs = Array.map full_vector assignments_arr in
+    let corrupted_arr = Array.of_list corrupted in
+    let n_corr = Array.length corrupted_arr in
+    let n_assign = Array.length assignments_arr in
+    let total = n_assign * runs_per_point in
     let rng = Rng.create setup.Setup.seed in
-    let estimates =
-      List.map
-        (fun assignment ->
-          let x = full_vector assignment in
-          let ones = List.map (fun i -> (i, ref 0)) corrupted in
-          for _ = 1 to runs_per_point do
-            let run = Announced.run_once setup ~protocol ~adversary ~x (Rng.split rng) in
-            List.iter (fun (i, c) -> if Bitvec.get run.Announced.w i then incr c) ones
+    let streams = Sb_par.Partition.streams rng ~total ~draws_per_item:1 in
+    let chunks = Sb_par.Partition.chunks ~total ~jobs:32 in
+    let counts =
+      Sb_par.Pool.reduce (Sb_par.Pool.default ()) chunks
+        ~f:(fun { Sb_par.Partition.lo; len } ->
+          let m = Array.make_matrix n_assign n_corr 0 in
+          for t = lo to lo + len - 1 do
+            let a = t / runs_per_point in
+            let run = Announced.run_once setup ~protocol ~adversary ~x:xs.(a) streams.(t) in
+            for k = 0 to n_corr - 1 do
+              if Bitvec.get run.Announced.w corrupted_arr.(k) then m.(a).(k) <- m.(a).(k) + 1
+            done
           done;
+          Announced.note_domain_samples len;
+          m)
+        ~merge:(fun acc m ->
+          match acc with
+          | None -> Some m
+          | Some acc ->
+              Array.iteri (fun a row -> Array.iteri (fun k c -> acc.(a).(k) <- acc.(a).(k) + c) row) m;
+              Some acc)
+        ~init:None
+    in
+    let counts = match counts with Some m -> m | None -> Array.make_matrix n_assign n_corr 0 in
+    let estimates =
+      List.mapi
+        (fun a assignment ->
           ( assignment,
-            List.map
-              (fun (i, c) -> (i, Sb_stats.Estimate.wilson ~z:1.96 ~successes:!c runs_per_point))
-              ones ))
+            List.mapi
+              (fun k i ->
+                (i, Sb_stats.Estimate.wilson ~z:1.96 ~successes:counts.(a).(k) runs_per_point))
+              corrupted ))
         assignments
     in
     let pairs =

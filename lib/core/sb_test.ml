@@ -119,11 +119,25 @@ let run setup ~protocol ~adversary ~dist ?simulator () =
   let corrupted = Announced.corrupted_of setup ~protocol ~adversary in
   let honest = Subset.complement n corrupted in
   let rng = Rng.create setup.Setup.seed in
-  (* Collect real runs once; reuse for all probes and the TVD. *)
-  let runs = ref [] in
-  Announced.sample setup ~protocol ~adversary ~dist rng (fun r -> runs := r :: !runs);
-  let runs = Array.of_list !runs in
-  let nruns = Array.length runs in
+  (* Collect real runs once; reuse for all probes and the TVD. Chunks
+     fill disjoint index-addressed slots of one shared array (the pool
+     barrier publishes the writes), then runs are laid out newest-first
+     — the order the old sequential list accumulation produced — so
+     parity-based splits below are unchanged. *)
+  let nruns = setup.Setup.samples in
+  let slots : Announced.run option array = Array.make nruns None in
+  let () =
+    Announced.psample setup ~protocol ~adversary ~dist
+      ~init:(fun () -> slots)
+      ~f:(fun slots i r -> slots.(i) <- Some r)
+      ~merge:(fun ~into:_ _ -> ())
+      rng
+    |> ignore
+  in
+  let runs =
+    Array.init nruns (fun j ->
+        match slots.(nruns - 1 - j) with Some r -> r | None -> assert false)
+  in
   let falsifiers =
     if corrupted = [] then []
     else

@@ -1,11 +1,13 @@
-let counter = ref 0
+(* Atomic so worker domains can emit without ever producing duplicate
+   sequence numbers; line-level interleaving is prevented in Sink. *)
+let counter = Atomic.make 0
 
 let emit ?(fields = []) name =
   if Sink.attached () > 0 then begin
-    incr counter;
-    let obj = Json.Obj (("ev", Json.Str name) :: ("seq", Json.Int !counter) :: fields) in
+    let seq = Atomic.fetch_and_add counter 1 + 1 in
+    let obj = Json.Obj (("ev", Json.Str name) :: ("seq", Json.Int seq) :: fields) in
     Sink.write_line (Json.to_string obj)
   end
 
-let seq () = !counter
-let reset () = counter := 0
+let seq () = Atomic.get counter
+let reset () = Atomic.set counter 0

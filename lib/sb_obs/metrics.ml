@@ -1,8 +1,9 @@
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable value : float }
+type counter = { c_name : string; count : int Atomic.t }
+type gauge = { g_name : string; value : float Atomic.t }
 
 type histogram = {
   h_name : string;
+  h_lock : Mutex.t;      (* guards every mutable field below *)
   bounds : float array;  (* inclusive upper bounds, strictly increasing *)
   counts : int array;    (* length = Array.length bounds + 1 (overflow) *)
   mutable h_count : int;
@@ -13,42 +14,55 @@ type histogram = {
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
+(* Counters and gauges are atomics (workers update them lock-free);
+   histograms take their own small mutex per observation; the registry
+   itself is guarded by [reg_lock]. Interning from worker domains is
+   therefore safe, though call sites normally intern at module init on
+   the main domain. *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let reg_lock = Mutex.create ()
 let on = ref false
 let set_enabled b = on := b
 let enabled () = !on
 
+let locked f =
+  Mutex.lock reg_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_lock) f
+
 let intern name make select =
-  match Hashtbl.find_opt registry name with
-  | Some m -> (
-      match select m with
-      | Some x -> x
-      | None -> invalid_arg (Printf.sprintf "Metrics: %S already registered with another type" name))
-  | None ->
-      let x = make () in
-      x
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match select m with
+          | Some x -> x
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %S already registered with another type" name))
+      | None ->
+          let x = make () in
+          x)
 
 let counter name =
   intern name
     (fun () ->
-      let c = { c_name = name; count = 0 } in
+      let c = { c_name = name; count = Atomic.make 0 } in
       Hashtbl.replace registry name (Counter c);
       c)
     (function Counter c -> Some c | _ -> None)
 
-let incr ?(by = 1) c = if !on then c.count <- c.count + by
-let counter_value c = c.count
+let incr ?(by = 1) c = if !on then ignore (Atomic.fetch_and_add c.count by)
+let counter_value c = Atomic.get c.count
 
 let gauge name =
   intern name
     (fun () ->
-      let g = { g_name = name; value = 0.0 } in
+      let g = { g_name = name; value = Atomic.make 0.0 } in
       Hashtbl.replace registry name (Gauge g);
       g)
     (function Gauge g -> Some g | _ -> None)
 
-let set g v = if !on then g.value <- v
-let gauge_value g = g.value
+let set g v = if !on then Atomic.set g.value v
+let gauge_value g = Atomic.get g.value
 
 (* Default ladder: 1-2-5 decades from 1 to 5e8 — a good fit for
    microsecond-scale durations and message counts alike. *)
@@ -65,6 +79,7 @@ let histogram ?(buckets = default_buckets) name =
       let h =
         {
           h_name = name;
+          h_lock = Mutex.create ();
           bounds = Array.copy buckets;
           counts = Array.make (Array.length buckets + 1) 0;
           h_count = 0;
@@ -91,14 +106,16 @@ let bucket_index bounds x =
 let observe h x =
   if !on then begin
     let i = bucket_index h.bounds x in
+    Mutex.lock h.h_lock;
     h.counts.(i) <- h.counts.(i) + 1;
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum +. x;
     if Float.is_nan h.h_min || x < h.h_min then h.h_min <- x;
-    if Float.is_nan h.h_max || x > h.h_max then h.h_max <- x
+    if Float.is_nan h.h_max || x > h.h_max then h.h_max <- x;
+    Mutex.unlock h.h_lock
   end
 
-let quantile h q =
+let quantile_unlocked h q =
   if h.h_count = 0 then Float.nan
   else begin
     let target = q *. float_of_int h.h_count in
@@ -121,6 +138,12 @@ let quantile h q =
     Float.min h.h_max (Float.max h.h_min est)
   end
 
+let quantile h q =
+  Mutex.lock h.h_lock;
+  let r = quantile_unlocked h q in
+  Mutex.unlock h.h_lock;
+  r
+
 type histogram_stats = {
   count : int;
   sum : float;
@@ -132,32 +155,40 @@ type histogram_stats = {
 }
 
 let stats h =
-  {
-    count = h.h_count;
-    sum = h.h_sum;
-    mean = (if h.h_count = 0 then Float.nan else h.h_sum /. float_of_int h.h_count);
-    min = h.h_min;
-    max = h.h_max;
-    p50 = quantile h 0.5;
-    p95 = quantile h 0.95;
-  }
+  Mutex.lock h.h_lock;
+  let s =
+    {
+      count = h.h_count;
+      sum = h.h_sum;
+      mean = (if h.h_count = 0 then Float.nan else h.h_sum /. float_of_int h.h_count);
+      min = h.h_min;
+      max = h.h_max;
+      p50 = quantile_unlocked h 0.5;
+      p95 = quantile_unlocked h 0.95;
+    }
+  in
+  Mutex.unlock h.h_lock;
+  s
 
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.value <- 0.0
-      | Histogram h ->
-          Array.fill h.counts 0 (Array.length h.counts) 0;
-          h.h_count <- 0;
-          h.h_sum <- 0.0;
-          h.h_min <- Float.nan;
-          h.h_max <- Float.nan)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c.count 0
+          | Gauge g -> Atomic.set g.value 0.0
+          | Histogram h ->
+              Mutex.lock h.h_lock;
+              Array.fill h.counts 0 (Array.length h.counts) 0;
+              h.h_count <- 0;
+              h.h_sum <- 0.0;
+              h.h_min <- Float.nan;
+              h.h_max <- Float.nan;
+              Mutex.unlock h.h_lock)
+        registry)
 
 let sorted_metrics () =
-  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  locked (fun () -> Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let to_table () =
@@ -171,9 +202,10 @@ let to_table () =
       match m with
       | Counter c ->
           Sb_util.Tabular.add_row table
-            [ c.c_name; "counter"; string_of_int c.count; "-"; "-"; "-"; "-" ]
+            [ c.c_name; "counter"; string_of_int (Atomic.get c.count); "-"; "-"; "-"; "-" ]
       | Gauge g ->
-          Sb_util.Tabular.add_row table [ g.g_name; "gauge"; fl g.value; "-"; "-"; "-"; "-" ]
+          Sb_util.Tabular.add_row table
+            [ g.g_name; "gauge"; fl (Atomic.get g.value); "-"; "-"; "-"; "-" ]
       | Histogram h ->
           let s = stats h in
           Sb_util.Tabular.add_row table
@@ -186,8 +218,8 @@ let to_json () =
   List.iter
     (fun (name, m) ->
       match m with
-      | Counter c -> counters := (name, Json.Int c.count) :: !counters
-      | Gauge g -> gauges := (name, Json.Float g.value) :: !gauges
+      | Counter c -> counters := (name, Json.Int (Atomic.get c.count)) :: !counters
+      | Gauge g -> gauges := (name, Json.Float (Atomic.get g.value)) :: !gauges
       | Histogram h ->
           let s = stats h in
           histograms :=

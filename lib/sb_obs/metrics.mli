@@ -8,7 +8,12 @@
     cache the handle; both hit the same underlying cell.
 
     Nothing here draws randomness or perturbs caller state: enabling
-    metrics cannot change the protocol outputs of a seeded run. *)
+    metrics cannot change the protocol outputs of a seeded run.
+
+    Domain safety: counters and gauges are atomics, histograms take a
+    per-histogram mutex per observation, and the name registry is
+    mutex-guarded — worker domains of the sampling pool may update any
+    metric concurrently and the aggregated totals are exact. *)
 
 type counter
 type gauge

@@ -30,14 +30,17 @@ let timing_to_json (t : timing_entry) =
       ("r_square", Json.Float t.r_square);
     ]
 
-let make ?(tool = "simbcast") ?(tag = "run") ?(experiments = []) ?(timings = []) () =
+let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings = []) () =
   Json.Obj
     ([
        ("schema_version", Json.Int schema_version);
        ("tool", Json.Str tool);
        ("tag", Json.Str tag);
-       ("experiments", Json.List (List.map experiment_to_json experiments));
      ]
+    @ (match jobs with
+      | None -> []
+      | Some j -> [ ("parallel", Json.Obj [ ("jobs", Json.Int j) ]) ])
+    @ [ ("experiments", Json.List (List.map experiment_to_json experiments)) ]
     @ (if timings = [] then []
        else [ ("timings", Json.List (List.map timing_to_json timings)) ])
     @ [ ("metrics", Metrics.to_json ()); ("spans", Span.to_json ()) ])

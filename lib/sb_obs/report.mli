@@ -22,12 +22,16 @@ type timing_entry = { bench_name : string; ns_per_run : float; r_square : float 
 val make :
   ?tool:string ->
   ?tag:string ->
+  ?jobs:int ->
   ?experiments:experiment_entry list ->
   ?timings:timing_entry list ->
   unit ->
   Json.t
 (** Assembles the report from the given outcomes plus
-    [Metrics.to_json ()] and [Span.to_json ()] as they stand. *)
+    [Metrics.to_json ()] and [Span.to_json ()] as they stand. [jobs],
+    when given, is recorded under a ["parallel"] object — the domain
+    count the run used; per-domain sample shares appear alongside as
+    [par.domain<k>.samples] counters in the metrics snapshot. *)
 
 val write_file : string -> Json.t -> unit
 (** Pretty-printed, trailing newline. *)

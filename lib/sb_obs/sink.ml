@@ -1,17 +1,20 @@
 type t = { id : int; write : string -> unit; flush : unit -> unit }
 
-let next_id = ref 0
+let next_id = Atomic.make 0
+let lock = Mutex.create ()
 
-let make write flush =
-  incr next_id;
-  { id = !next_id; write; flush }
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let make write flush = { id = Atomic.fetch_and_add next_id 1 + 1; write; flush }
 
 let null = make (fun _ -> ()) (fun () -> ())
 
 let memory () =
   let buf = ref [] in
   let sink = make (fun line -> buf := line :: !buf) (fun () -> ()) in
-  (sink, fun () -> List.rev !buf)
+  (sink, fun () -> locked (fun () -> List.rev !buf))
 
 let of_channel oc =
   make
@@ -21,14 +24,17 @@ let of_channel oc =
     (fun () -> flush oc)
 
 let sinks : t list ref = ref []
-let attach s = sinks := s :: !sinks
-let detach s = sinks := List.filter (fun s' -> s'.id <> s.id) !sinks
-let detach_all () = sinks := []
+let attach s = locked (fun () -> sinks := s :: !sinks)
+let detach s = locked (fun () -> sinks := List.filter (fun s' -> s'.id <> s.id) !sinks)
+let detach_all () = locked (fun () -> sinks := [])
 let attached () = List.length !sinks
 
+(* The mutex both protects the sink list and serialises writes, so
+   JSONL lines from different domains never interleave. *)
 let write_line line =
-  match !sinks with
-  | [] -> ()
-  | active -> List.iter (fun s -> s.write line) active
+  locked (fun () ->
+      match !sinks with
+      | [] -> ()
+      | active -> List.iter (fun s -> s.write line) active)
 
-let flush_all () = List.iter (fun s -> s.flush ()) !sinks
+let flush_all () = locked (fun () -> List.iter (fun s -> s.flush ()) !sinks)

@@ -14,16 +14,29 @@ let set_enabled b = on := b
 let enabled () = !on
 
 (* Innermost-first stack of open span names; completed records in
-   reverse completion order. *)
+   reverse completion order. Spans are an orchestration-level tool
+   (experiments, CLI): the nesting stack is process-wide, so open them
+   from the main domain only. The mutex keeps the record lists
+   consistent even if a worker domain does open one. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let open_spans : string list ref = ref []
 let completed : record list ref = ref []
 
 let with_span ?(attrs = []) name f =
   if not !on then f ()
   else begin
-    let parent = match !open_spans with [] -> None | p :: _ -> Some p in
-    let depth = List.length !open_spans in
-    open_spans := name :: !open_spans;
+    let parent, depth =
+      locked (fun () ->
+          let parent = match !open_spans with [] -> None | p :: _ -> Some p in
+          let depth = List.length !open_spans in
+          open_spans := name :: !open_spans;
+          (parent, depth))
+    in
     (* Gc.counters, not quick_stat: the latter only refreshes its
        allocation totals at collection boundaries, so short spans would
        read as zero-allocation. *)
@@ -32,19 +45,20 @@ let with_span ?(attrs = []) name f =
     let finish () =
       let t1 = Unix.gettimeofday () in
       let min1, _, maj1 = Gc.counters () in
-      open_spans := (match !open_spans with _ :: rest -> rest | [] -> []);
-      completed :=
-        {
-          name;
-          depth;
-          parent;
-          start_s = t0;
-          duration_s = t1 -. t0;
-          minor_words = min1 -. min0;
-          major_words = maj1 -. maj0;
-          attrs;
-        }
-        :: !completed
+      locked (fun () ->
+          open_spans := (match !open_spans with _ :: rest -> rest | [] -> []);
+          completed :=
+            {
+              name;
+              depth;
+              parent;
+              start_s = t0;
+              duration_s = t1 -. t0;
+              minor_words = min1 -. min0;
+              major_words = maj1 -. maj0;
+              attrs;
+            }
+            :: !completed)
     in
     let r = Fun.protect ~finally:finish f in
     (match !completed with
@@ -63,12 +77,13 @@ let with_span ?(attrs = []) name f =
     r
   end
 
-let records () = List.rev !completed
-let find name = List.find_opt (fun r -> String.equal r.name name) !completed
+let records () = locked (fun () -> List.rev !completed)
+let find name = locked (fun () -> List.find_opt (fun r -> String.equal r.name name) !completed)
 
 let reset () =
-  open_spans := [];
-  completed := []
+  locked (fun () ->
+      open_spans := [];
+      completed := [])
 
 let record_to_json r =
   Json.Obj

@@ -11,6 +11,7 @@ let to_others ~n ~src body =
   List.filter_map (fun dst -> if dst = src then None else Some (make ~src ~dst body)) (List.init n Fun.id)
 
 let src_party e = match e.src with Party i -> Some i | Func | All -> None
+let src_is e i = match e.src with Party j -> j = i | Func | All -> false
 let dst_party e = match e.dst with Party i -> Some i | Func | All -> None
 let is_broadcast e = e.dst = All
 let is_func_bound e = e.dst = Func

@@ -32,6 +32,11 @@ val to_all : n:int -> src:int -> Msg.t -> t list
 val to_others : n:int -> src:int -> Msg.t -> t list
 
 val src_party : t -> int option
+
+val src_is : t -> int -> bool
+(** [src_is e i] = [src_party e = Some i] without allocating the
+    option — used on the per-round authentication check. *)
+
 val dst_party : t -> int option
 val is_broadcast : t -> bool
 val is_func_bound : t -> bool

@@ -36,7 +36,7 @@ let count_channels envs =
     (0, 0) envs
 
 let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~inputs
-    ?(aux = Msg.Unit) () =
+    ?(aux = Msg.Unit) ?(record_trace = true) () =
   let n = ctx.n in
   if Array.length inputs <> n then invalid_arg "Network.run: wrong number of inputs";
   (* Independent randomness streams, in a fixed order for reproducibility. *)
@@ -68,6 +68,11 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
   let pending = ref [] in
   (* envelopes to deliver next round *)
   let trace = ref [] in
+  (* Monte-Carlo sampling passes [record_trace:false]: the per-round
+     envelope lists are then dropped as soon as the round ends instead
+     of being retained for the whole run, and the p2p tally below is
+     the only thing kept. *)
+  let p2p_count = ref 0 in
   let deliveries_to id envs = List.filter (fun e -> Envelope.delivered_to e id) envs in
   Sb_obs.Metrics.incr m_runs;
   for round = 0 to total_rounds do
@@ -81,7 +86,7 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
         (fun (id, party) ->
           let out = party.Party.step ~round ~inbox:(deliveries_to id inbox_all) in
           (* Authenticated channels: an honest party only speaks as itself. *)
-          List.iter (fun e -> assert (Envelope.src_party e = Some id)) out;
+          List.iter (fun e -> assert (Envelope.src_is e id)) out;
           out)
         parties
     in
@@ -109,7 +114,13 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
           (List.length honest_out) (List.length adv_out) (List.length func_in)
           (List.length func_out)
           (if last then " (final)" else ""));
-    (* 5. Record round observations, then queue next-round deliveries. *)
+    (* 5. Record round observations, then queue next-round deliveries.
+       count_channels is an allocation-free fold, so tallying p2p
+       traffic incrementally costs nothing even with metrics off. *)
+    if not last then begin
+      let _, hp = count_channels honest_out and _, ap = count_channels adv_out in
+      p2p_count := !p2p_count + hp + ap
+    end;
     if metrics_on then begin
       Sb_obs.Metrics.incr m_rounds;
       Sb_obs.Metrics.incr ~by:(List.length honest_out) m_honest;
@@ -122,7 +133,7 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
       Sb_obs.Metrics.observe h_round_us ((Unix.gettimeofday () -. t0) *. 1e6)
     end;
     pending := List.filter (fun e -> not (Envelope.is_func_bound e)) all_out @ func_out;
-    if not last then
+    if record_trace && not last then
       trace :=
         { Trace.round; honest_sent = honest_out; adv_sent = adv_out; func_sent = func_out }
         :: !trace
@@ -135,7 +146,7 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
         ("protocol", Sb_obs.Json.Str protocol.name);
         ("rounds", Sb_obs.Json.Int total_rounds);
         ("corrupted", Sb_obs.Json.Int (List.length corrupted));
-        ("p2p", Sb_obs.Json.Int (Trace.p2p_message_count trace));
+        ("p2p", Sb_obs.Json.Int !p2p_count);
         ( "per_round",
           Sb_obs.Json.List
             (List.map
@@ -147,7 +158,7 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
     adv_output = strategy.Adversary.adv_output ();
     corrupted;
     rounds_used = total_rounds;
-    p2p_messages = Trace.p2p_message_count trace;
+    p2p_messages = !p2p_count;
     trace;
   }
 

@@ -34,11 +34,18 @@ val run :
   adversary:Adversary.t ->
   inputs:Msg.t array ->
   ?aux:Msg.t ->
+  ?record_trace:bool ->
   unit ->
   result
 (** [inputs] must have length [ctx.n]. The given [rng] is split into
     independent streams for each party, the adversary, and the
-    functionality, so runs are reproducible from one seed. *)
+    functionality, so runs are reproducible from one seed.
+
+    [record_trace] (default [true]): when [false], the per-round
+    envelope trace is not retained — [result.trace] is [[]] — which
+    removes the dominant allocation of a run. [p2p_messages] is tallied
+    incrementally and unaffected. Monte-Carlo samplers, which never
+    read the trace, pass [false]; outputs are identical either way. *)
 
 val honest_run :
   Ctx.t -> rng:Sb_util.Rng.t -> protocol:Protocol.t -> inputs:Msg.t array -> result

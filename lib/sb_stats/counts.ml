@@ -12,6 +12,11 @@ let total t = t.total
 let count t v = t.counts.(Sb_util.Bitvec.to_int v)
 let count_idx t i = t.counts.(i)
 
+let merge_into ~into src =
+  if Array.length into.counts <> Array.length src.counts then invalid_arg "Counts.merge_into";
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.total <- into.total + src.total
+
 let empirical_tvd a b =
   if Array.length a.counts <> Array.length b.counts then invalid_arg "Counts.empirical_tvd";
   if a.total = 0 || b.total = 0 then invalid_arg "Counts.empirical_tvd: empty table";
@@ -34,6 +39,12 @@ let record e ~a ~b =
   if a then e.na <- e.na + 1;
   if b then e.nb <- e.nb + 1;
   if a && b then e.nab <- e.nab + 1
+
+let event_merge_into ~into src =
+  into.n <- into.n + src.n;
+  into.na <- into.na + src.na;
+  into.nb <- into.nb + src.nb;
+  into.nab <- into.nab + src.nab
 
 let gap e =
   if e.n = 0 then invalid_arg "Counts.gap: no trials";

@@ -21,12 +21,20 @@ val empirical_tvd : table -> table -> float
 val iter : table -> (int -> int -> unit) -> unit
 (** [iter t f] calls [f idx count] for every index. *)
 
+val merge_into : into:table -> table -> unit
+(** Pointwise-add [src] into [into]: the barrier step of chunked
+    parallel sampling. Tables must have the same width. *)
+
 type event
 (** Streaming joint/marginal counter for a pair of events (A, B):
     feeds the CR correlation-gap estimator. *)
 
 val event_pair : unit -> event
 val record : event -> a:bool -> b:bool -> unit
+
+val event_merge_into : into:event -> event -> unit
+(** Sum [src]'s trial/marginal/joint counts into [into]. Counts are
+    integers, so merging is exact and order-independent. *)
 
 val gap : event -> Estimate.interval
 (** Conservative interval for |P(A∧B) − P(A)P(B)|. *)

@@ -40,6 +40,10 @@ let split t =
   let child_seed = int64 t in
   of_seed64 child_seed
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n";
+  Array.init n (fun _ -> split t)
+
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
 let bits t w =

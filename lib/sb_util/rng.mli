@@ -22,6 +22,17 @@ val split : t -> t
     independently afterwards; [t] itself is perturbed so repeated splits
     yield distinct children. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] fresh generators in one pass, advancing
+    [t] by exactly [n] raw outputs. Child [k] is a pure function of
+    [t]'s [k]-th output, so the array is a prefix-stable stream of
+    streams: [(split_n t n).(k)] equals the [k]-th child produced by
+    [k + 1] repeated [split]s from the same starting state, independent
+    of how many further children are drawn. This is what lets a work
+    partitioner hand chunk \[lo, hi) of a sample loop the exact child
+    generators the sequential loop would have used, regardless of how
+    many chunks the work is cut into. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state; the copy replays exactly the
     same stream as [t] would from this point. *)

@@ -1,0 +1,158 @@
+(* Tests for sb_par: partitioner coverage, pool exception/shutdown
+   semantics, and the determinism contract of the parallel sampling
+   engine (identical results at every --jobs setting, equal to the
+   sequential path). *)
+
+open Sb_util
+
+(* --- Partition ----------------------------------------------------- *)
+
+let check_cover ~total ~jobs =
+  let chunks = Sb_par.Partition.chunks ~total ~jobs in
+  let hit = Array.make total 0 in
+  Array.iter
+    (fun { Sb_par.Partition.lo; len } ->
+      Alcotest.(check bool) "chunk non-empty" true (len > 0);
+      for i = lo to lo + len - 1 do
+        hit.(i) <- hit.(i) + 1
+      done)
+    chunks;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "index %d covered once (total=%d, jobs=%d)" i total jobs)
+        1 c)
+    hit
+
+let test_partition_cover () =
+  List.iter
+    (fun total -> List.iter (fun jobs -> check_cover ~total ~jobs) [ 1; 2; 3; 4; 7; 32 ])
+    [ 0; 1; 2; 7; 13; 31; 97; 1000 ]
+
+let test_partition_empty () =
+  Alcotest.(check int) "total=0 gives no chunks" 0
+    (Array.length (Sb_par.Partition.chunks ~total:0 ~jobs:4))
+
+(* --- Pool ----------------------------------------------------------- *)
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  let pool = Sb_par.Pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Sb_par.Pool.shutdown pool)
+    (fun () ->
+      (match
+         Sb_par.Pool.map_chunks pool
+           ~f:(fun i -> if i mod 2 = 1 then raise (Boom i) else i)
+           (Array.init 8 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> Alcotest.(check int) "lowest-index failure re-raised" 1 i);
+      (* The pool must survive a failed barrier. *)
+      let r = Sb_par.Pool.map_chunks pool ~f:(fun i -> i * i) (Array.init 5 Fun.id) in
+      Alcotest.(check (array int)) "pool reusable after failure" [| 0; 1; 4; 9; 16 |] r)
+
+let test_pool_shutdown () =
+  let pool = Sb_par.Pool.create ~domains:2 () in
+  Sb_par.Pool.shutdown pool;
+  Sb_par.Pool.shutdown pool (* idempotent *);
+  match Sb_par.Pool.map_chunks pool ~f:Fun.id [| 1 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_reduce_order () =
+  let pool = Sb_par.Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Sb_par.Pool.shutdown pool)
+    (fun () ->
+      (* A non-commutative merge exposes any scheduling dependence. *)
+      let s =
+        Sb_par.Pool.reduce pool ~f:string_of_int ~merge:( ^ ) ~init:""
+          (Array.init 10 Fun.id)
+      in
+      Alcotest.(check string) "merge folds in chunk order" "0123456789" s)
+
+(* --- psample determinism ------------------------------------------- *)
+
+let protocol = Sb_protocols.Gennaro.protocol
+let setup = Core.Setup.with_samples 400 Core.Setup.default
+let adversary = Core.Adversaries.semi_honest protocol ~corrupt:[ 3; 4 ]
+
+let with_jobs j f =
+  Sb_par.Pool.set_default_domains j;
+  Fun.protect ~finally:(fun () -> Sb_par.Pool.set_default_domains 1) f
+
+let ones_sequential ~dist =
+  let n = setup.Core.Setup.n in
+  let counts = Array.make n 0 in
+  let rng = Rng.create setup.Core.Setup.seed in
+  Core.Announced.sample setup ~protocol ~adversary ~dist rng (fun r ->
+      for i = 0 to n - 1 do
+        if Bitvec.get r.Core.Announced.w i then counts.(i) <- counts.(i) + 1
+      done);
+  counts
+
+let ones_parallel ~dist =
+  let n = setup.Core.Setup.n in
+  let rng = Rng.create setup.Core.Setup.seed in
+  Core.Announced.psample setup ~protocol ~adversary ~dist
+    ~init:(fun () -> Array.make n 0)
+    ~f:(fun acc _ r ->
+      for i = 0 to n - 1 do
+        if Bitvec.get r.Core.Announced.w i then acc.(i) <- acc.(i) + 1
+      done)
+    ~merge:(fun ~into src -> Array.iteri (fun i c -> into.(i) <- into.(i) + c) src)
+    rng
+
+let test_psample_matches_sequential () =
+  let dist = Sb_dist.Dist.uniform setup.Core.Setup.n in
+  let seq = ones_sequential ~dist in
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d equals the sequential loop" j)
+            seq (ones_parallel ~dist)))
+    [ 1; 2; 4 ]
+
+let test_testers_jobs_invariant () =
+  let dist = Sb_dist.Dist.uniform setup.Core.Setup.n in
+  let run_all () =
+    let cr = Core.Cr_test.run setup ~protocol ~adversary ~dist () in
+    let g = Core.G_test.run setup ~protocol ~adversary ~dist () in
+    let gss = Core.Gss_test.run setup ~protocol ~adversary ~runs_per_point:200 () in
+    (cr.Core.Cr_test.findings, cr.Core.Cr_test.verdict, g.Core.G_test.findings,
+     g.Core.G_test.verdict, gss.Core.Gss_test.findings, gss.Core.Gss_test.verdict)
+  in
+  let base = with_jobs 1 run_all in
+  List.iter
+    (fun j ->
+      let r = with_jobs j run_all in
+      Alcotest.(check bool)
+        (Printf.sprintf "tester outputs at jobs=%d identical to jobs=1" j)
+        true (r = base))
+    [ 2; 4 ]
+
+let () =
+  Alcotest.run "sb_par"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "exact cover (0, 1, primes, large)" `Quick test_partition_cover;
+          Alcotest.test_case "empty total" `Quick test_partition_empty;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "exception propagates, pool survives" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "shutdown idempotent, then rejects work" `Quick test_pool_shutdown;
+          Alcotest.test_case "reduce merges in chunk order" `Quick test_pool_reduce_order;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "psample = sequential sample" `Slow test_psample_matches_sequential;
+          Alcotest.test_case "tester results invariant in --jobs" `Slow
+            test_testers_jobs_invariant;
+        ] );
+    ]

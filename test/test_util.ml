@@ -23,6 +23,41 @@ let test_rng_split_independent () =
   let child2 = Rng.split parent in
   Alcotest.(check bool) "children differ" true (Rng.int64 child1 <> Rng.int64 child2)
 
+let test_rng_split_n_disjoint_prefixes () =
+  (* Overlapping child streams would show up as repeated 64-bit values
+     across prefixes; distinct healthy streams collide with probability
+     ~2^-57 here. *)
+  let parent = Rng.create 13 in
+  let children = Rng.split_n parent 8 in
+  let seen = Hashtbl.create 256 in
+  Array.iter
+    (fun c ->
+      for _ = 1 to 16 do
+        let v = Rng.int64 c in
+        Alcotest.(check bool) "value not seen in another child's prefix" false
+          (Hashtbl.mem seen v);
+        Hashtbl.replace seen v ()
+      done)
+    children;
+  Alcotest.(check int) "all prefix values distinct" (8 * 16) (Hashtbl.length seen)
+
+let test_rng_split_n_matches_repeated_split () =
+  (* split_n is defined as n repeated splits: child k of one call must
+     equal the (k+1)-th plain split from an equal-state master, so
+     consumers may batch or stream splits interchangeably. *)
+  let a = Rng.create 21 in
+  let b = Rng.copy a in
+  let batched = Rng.split_n a 5 in
+  let streamed = Array.init 5 (fun _ -> Rng.split b) in
+  for k = 0 to 4 do
+    for _ = 1 to 8 do
+      Alcotest.(check int64)
+        (Printf.sprintf "child %d streams agree" k)
+        (Rng.int64 batched.(k)) (Rng.int64 streamed.(k))
+    done
+  done;
+  Alcotest.(check int) "split_n 0 is empty" 0 (Array.length (Rng.split_n (Rng.create 1) 0))
+
 let test_rng_copy_replays () =
   let a = Rng.create 9 in
   let _ = Rng.int64 a in
@@ -175,6 +210,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "split_n disjoint prefixes" `Quick test_rng_split_n_disjoint_prefixes;
+          Alcotest.test_case "split_n = repeated split" `Quick test_rng_split_n_matches_repeated_split;
           Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "int uniform" `Slow test_rng_int_uniform;
