@@ -164,6 +164,9 @@ let () =
     else None
   in
   (match List.find_map jobs_of args with
+  | Some j when j <= 0 ->
+      Printf.eprintf "bench: --jobs must be a positive integer, got %d\n" j;
+      exit 2
   | Some j -> Sb_par.Pool.set_default_domains j
   | None -> ());
   let quick = List.mem "quick" args in

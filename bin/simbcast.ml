@@ -64,11 +64,17 @@ let adversary_of_name name (protocol : Sb_sim.Protocol.t) n =
 let protocol_of_name name =
   match Sb_protocols.Registry.find name with
   | Some e -> Ok e.Sb_protocols.Registry.protocol
-  | None ->
+  | None -> (
       if String.equal name "commit-open" then Ok Sb_protocols.Commit_open.protocol
       else
-        Error (Printf.sprintf "unknown protocol %S (try: %s)" name
-                 (String.concat ", " ("commit-open" :: Sb_protocols.Registry.names)))
+        match List.assoc_opt name (Core.Resilience.substrates ()) with
+        | Some p -> Ok p
+        | None ->
+            Error
+              (Printf.sprintf "unknown protocol %S (try: %s)" name
+                 (String.concat ", "
+                    (("commit-open" :: Sb_protocols.Registry.names)
+                    @ List.map fst (Core.Resilience.substrates ())))))
 
 let n_arg =
   let doc = "Number of parties." in
@@ -98,12 +104,24 @@ let adversary_arg =
   let doc = "Adversary name." in
   Arg.(value & opt string "passive" & info [ "a"; "adversary" ] ~doc)
 
+(* A 0- or negative-domain pool is meaningless; reject it at parse
+   time with a proper cmdliner diagnostic instead of letting the pool
+   constructor blow up mid-run. *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some i when i > 0 -> Ok i
+    | Some i -> Error (`Msg (Printf.sprintf "expected a positive integer, got %d" i))
+    | None -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let jobs_arg =
   let doc =
-    "Worker domains for Monte-Carlo sampling (default: physical cores). Results \
-     are byte-identical for every value, including 1."
+    "Worker domains for Monte-Carlo sampling (default: physical cores; must be \
+     positive). Results are byte-identical for every value, including 1."
   in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
+  Arg.(value & opt (some pos_int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
 
 let setup_jobs = function
   | None -> ()
@@ -112,6 +130,27 @@ let setup_jobs = function
 let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
 
 let resolve_thresh n = function Some t -> t | None -> (n - 1) / 2
+
+(* --- fault plans ---------------------------------------------------- *)
+
+let faults_arg =
+  let doc =
+    "Inject faults: ';'-separated specs crash:$(i,P)\\@$(i,R), \
+     drop:$(i,PROB)[:$(i,SRC)->$(i,DST)], delay:$(i,BY)[:$(i,SRC)->$(i,DST)], \
+     part:$(i,G)|$(i,G)\\@$(i,FIRST)-$(i,LAST) ('*' matches any endpoint), e.g. \
+     'crash:4\\@1;drop:0.1;delay:2:0->3'."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~doc ~docv:"SPEC")
+
+let plan_of_spec ~n = function
+  | None -> Ok []
+  | Some s -> (
+      match Sb_fault.Plan.of_string s with
+      | Error e -> Error (Printf.sprintf "--faults: %s" e)
+      | Ok plan -> (
+          match Sb_fault.Plan.validate ~n plan with
+          | Error e -> Error (Printf.sprintf "--faults: %s" e)
+          | Ok () -> Ok plan))
 
 (* --- observability plumbing ---------------------------------------- *)
 
@@ -170,7 +209,8 @@ let list_cmd =
     Sb_util.Tabular.print table;
     Printf.printf "distributions: %s\n" (String.concat ", " dist_names);
     Printf.printf "adversaries  : %s\n" (String.concat ", " adversary_names);
-    Printf.printf "experiments  : e1..e8, e10..e14  (see bench/main.exe; e9 = its timing section)\n"
+    Printf.printf "experiments  : e1..e8, e10..e15  (see bench/main.exe; e9 = its timing section)\n";
+    Printf.printf "fault plans  : crash:P@R  drop:PROB[:S->D]  delay:BY[:S->D]  part:G|G@A-B  (fault-sweep, run --faults)\n"
   in
   Cmd.v (Cmd.info "list" ~doc:"List protocols, distributions and adversaries")
     Term.(const run $ const ())
@@ -192,13 +232,13 @@ let run_cmd =
     let doc = "Input bit vector, e.g. 10110 (defaults to uniform random)." in
     Arg.(value & opt (some string) None & info [ "x"; "inputs" ] ~doc)
   in
-  let run pname n thresh seed inputs adversary_name verbose metrics report jobs =
+  let run pname n thresh seed inputs adversary_name fault_spec verbose metrics report jobs =
     setup_logging verbose;
     setup_obs metrics report;
     setup_jobs jobs;
-    match protocol_of_name pname with
-    | Error e -> fail "%s" e
-    | Ok protocol -> (
+    match (protocol_of_name pname, plan_of_spec ~n fault_spec) with
+    | Error e, _ | _, Error e -> fail "%s" e
+    | Ok protocol, Ok plan -> (
         match adversary_of_name adversary_name protocol n with
         | Error e -> fail "%s" e
         | Ok adversary ->
@@ -212,13 +252,23 @@ let run_cmd =
               | None -> Sb_util.Bitvec.random rng n
             in
             let setup = Core.Setup.{ default with n; thresh; seed } in
+            let faults =
+              if plan = [] then None else Some (Sb_fault.Inject.compile ~n plan)
+            in
             let r =
               Sb_obs.Span.with_span ~attrs:[ ("protocol", pname) ] "run" (fun () ->
-                  Core.Announced.run_once setup ~protocol ~adversary ~x rng)
+                  Core.Announced.run_once setup ~protocol ~adversary ~x ?faults rng)
             in
             Printf.printf "protocol   : %s\n" protocol.Sb_sim.Protocol.name;
             Printf.printf "adversary  : %s (corrupted %s)\n" adversary.Sb_sim.Adversary.name
               (String.concat "," (List.map string_of_int r.Core.Announced.corrupted));
+            if plan <> [] then begin
+              match Sb_fault.Plan.crashed_parties plan with
+              | [] -> Printf.printf "faults     : %s\n" (Sb_fault.Plan.to_string plan)
+              | crashed ->
+                  Printf.printf "faults     : %s (crashed %s)\n" (Sb_fault.Plan.to_string plan)
+                    (String.concat "," (List.map string_of_int crashed))
+            end;
             Printf.printf "inputs     : %s\n" (Sb_util.Bitvec.to_string r.Core.Announced.x);
             Printf.printf "announced  : %s\n" (Sb_util.Bitvec.to_string r.Core.Announced.w);
             Printf.printf "consistent : %b\n" r.Core.Announced.consistent;
@@ -229,7 +279,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ protocol_arg $ n_arg $ thresh_arg $ seed_arg $ inputs_arg $ adversary_arg
-       $ verbose_arg $ metrics_arg $ report_arg $ jobs_arg))
+       $ faults_arg $ verbose_arg $ metrics_arg $ report_arg $ jobs_arg))
 
 (* --- classify ------------------------------------------------------- *)
 
@@ -396,7 +446,7 @@ let exact_cmd =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id (e1..e8, e10..e14)." in
+    let doc = "Experiment id (e1..e8, e10..e15)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let quick_arg =
@@ -453,12 +503,124 @@ let experiment_cmd =
         `Ok ()
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E14)")
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E15)")
     Term.(ret (const run $ id_arg $ quick_arg $ csv_arg $ metrics_arg $ report_arg $ jobs_arg))
+
+(* --- fault-sweep ----------------------------------------------------- *)
+
+let fault_sweep_cmd =
+  let drops_arg =
+    let doc = "Omission rates for the grid (comma-separated)." in
+    Arg.(value & opt (list float) [ 0.0; 0.1; 0.3 ] & info [ "drops" ] ~doc ~docv:"RATES")
+  in
+  let crashes_arg =
+    let doc = "Crash counts for the grid (comma-separated; crashes are staggered \
+               starting from the highest party id)." in
+    Arg.(value & opt (list int) [ 0; 1; 2 ] & info [ "crashes" ] ~doc ~docv:"COUNTS")
+  in
+  let sweep_protocol_arg =
+    let doc = "Protocol to sweep, or 'all' for every substrate and VSS protocol." in
+    Arg.(value & opt string "all" & info [ "p"; "protocol" ] ~doc)
+  in
+  let catalogue () = Core.Resilience.substrates () @ Core.Resilience.vss_protocols () in
+  let run pname n thresh seed samples fault_spec drops crashes metrics report jobs =
+    setup_obs metrics report;
+    setup_jobs jobs;
+    let protocols =
+      if pname = "all" then Ok (catalogue ())
+      else
+        match List.assoc_opt pname (catalogue ()) with
+        | Some p -> Ok [ (pname, p) ]
+        | None ->
+            Error
+              (Printf.sprintf "unknown protocol %S (try: all, %s)" pname
+                 (String.concat ", " (List.map fst (catalogue ()))))
+    in
+    match (protocols, plan_of_spec ~n fault_spec) with
+    | Error e, _ | _, Error e -> fail "%s" e
+    | Ok protocols, Ok spec_plan ->
+        if List.exists (fun c -> c < 0 || c >= n) crashes then
+          fail "--crashes: counts must lie in [0, %d)" n
+        else if List.exists (fun r -> r < 0.0 || r > 1.0) drops then
+          fail "--drops: rates must lie in [0, 1]"
+        else begin
+          let thresh = resolve_thresh n thresh in
+          let setup = Core.Setup.{ default with n; thresh; seed; samples } in
+          let plans =
+            (* A --faults spec replaces the grid: one cell per protocol. *)
+            if fault_spec <> None then [ spec_plan ]
+            else
+              List.concat_map
+                (fun c ->
+                  List.map
+                    (fun r ->
+                      Core.Resilience.drop_plan r @ Core.Resilience.crash_plan ~n ~count:c)
+                    drops)
+                crashes
+          in
+          let table =
+            Sb_util.Tabular.create
+              ~title:
+                (Printf.sprintf "fault sweep (n = %d, t = %d, %d samples/cell)" n thresh
+                   samples)
+              ~columns:[ "protocol"; "faults"; "agreement"; "validity" ]
+          in
+          let t0 = Unix.gettimeofday () in
+          let cells =
+            List.concat_map
+              (fun (name, protocol) ->
+                List.map
+                  (fun plan ->
+                    let c =
+                      Core.Resilience.measure setup ~protocol
+                        ~adversary:Core.Adversaries.passive
+                        ~dist:(Sb_dist.Dist.uniform n) ~plan (Sb_util.Rng.create seed)
+                    in
+                    Sb_util.Tabular.add_row table
+                      [
+                        name;
+                        (match Sb_fault.Plan.to_string plan with "" -> "none" | s -> s);
+                        Format.asprintf "%a" Sb_stats.Estimate.pp c.Core.Resilience.agree;
+                        Format.asprintf "%a" Sb_stats.Estimate.pp c.Core.Resilience.valid;
+                      ];
+                    c)
+                  plans)
+              protocols
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          Sb_util.Tabular.print table;
+          let experiments =
+            [
+              {
+                Sb_obs.Report.id = "FAULT-SWEEP";
+                title = "Resilience sweep over injected fault plans";
+                ok = true;
+                rows_checked = List.length cells;
+                wall_clock_s = wall;
+                notes = [];
+              };
+            ]
+          in
+          finish_obs ~experiments ~tag:"fault-sweep" metrics report;
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "fault-sweep"
+       ~doc:
+         "Measure agreement/validity resilience curves under injected faults (crash-stop, \
+          omission, delay, partition); see also experiment e15")
+    Term.(
+      ret
+        (const run $ sweep_protocol_arg $ n_arg $ thresh_arg $ seed_arg $ samples_arg
+       $ faults_arg $ drops_arg $ crashes_arg $ metrics_arg $ report_arg $ jobs_arg))
 
 let () =
   let info =
     Cmd.info "simbcast" ~version:"1.0.0"
       ~doc:"Simultaneous broadcast protocols and independence definitions (PODC 2005 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; classify_cmd; test_cmd; exact_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; classify_cmd; test_cmd; exact_cmd; experiment_cmd; fault_sweep_cmd ]))

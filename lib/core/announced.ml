@@ -21,13 +21,16 @@ let to_vector n m =
    actually spent. *)
 let m_samples = Sb_obs.Metrics.counter "exp.samples_drawn"
 
-let run_once setup ~protocol ~adversary ~x ?(aux = Msg.Unit) rng =
+let run_once setup ~protocol ~adversary ~x ?(aux = Msg.Unit) ?faults rng =
   Sb_obs.Metrics.incr m_samples;
   let ctx = Setup.fresh_ctx setup (Rng.split rng) in
   let inputs = Array.init setup.Setup.n (fun i -> Msg.Bit (Bitvec.get x i)) in
   (* Samplers never read the trace; not recording it removes the
      dominant allocation of a simulated run. *)
-  let r = Network.run ctx ~rng ~protocol ~adversary ~inputs ~aux ~record_trace:false () in
+  let r =
+    Network.run ctx ~rng ~protocol ~adversary ~inputs ~aux ~record_trace:false
+      ?faults ()
+  in
   let vectors =
     List.map (fun (_, m) -> to_vector setup.Setup.n m) r.Network.outputs
   in
@@ -40,10 +43,10 @@ let run_once setup ~protocol ~adversary ~x ?(aux = Msg.Unit) rng =
   in
   { x; w; corrupted = r.Network.corrupted; consistent; adv_output = r.Network.adv_output }
 
-let sample setup ~protocol ~adversary ~dist ?(aux = Msg.Unit) rng f =
+let sample setup ~protocol ~adversary ~dist ?(aux = Msg.Unit) ?faults rng f =
   for _ = 1 to setup.Setup.samples do
     let x = Sb_dist.Dist.sample dist (Rng.split rng) in
-    f (run_once setup ~protocol ~adversary ~x ~aux (Rng.split rng))
+    f (run_once setup ~protocol ~adversary ~x ~aux ?faults (Rng.split rng))
   done
 
 (* Fixed fan-out width: results do not depend on it (the merge is a
@@ -58,7 +61,7 @@ let note_domain_samples len =
     (Sb_obs.Metrics.counter
        (Printf.sprintf "par.domain%d.samples" (Sb_par.Pool.worker_index ())))
 
-let psample ?pool setup ~protocol ~adversary ~dist ?(aux = Msg.Unit) ~init ~f ~merge rng =
+let psample ?pool setup ~protocol ~adversary ~dist ?(aux = Msg.Unit) ?faults ~init ~f ~merge rng =
   let pool = match pool with Some p -> p | None -> Sb_par.Pool.default () in
   let total = setup.Setup.samples in
   (* The sequential loop above performs exactly two master splits per
@@ -72,7 +75,9 @@ let psample ?pool setup ~protocol ~adversary ~dist ?(aux = Msg.Unit) ~init ~f ~m
         let acc = init () in
         for i = lo to lo + len - 1 do
           let x = Sb_dist.Dist.sample dist streams.(2 * i) in
-          f acc i (run_once setup ~protocol ~adversary ~x ~aux streams.((2 * i) + 1))
+          f acc i
+            (run_once setup ~protocol ~adversary ~x ~aux ?faults
+               streams.((2 * i) + 1))
         done;
         note_domain_samples len;
         acc)

@@ -15,12 +15,17 @@ type run = {
   adv_output : Sb_sim.Msg.t;
 }
 
+val to_vector : int -> Sb_sim.Msg.t -> Sb_util.Bitvec.t option
+(** Decode an honest party's output as an [n]-bit announced vector —
+    [None] if it is not a well-formed length-[n] [Msg.List] of bits. *)
+
 val run_once :
   Setup.t ->
   protocol:Sb_sim.Protocol.t ->
   adversary:Sb_sim.Adversary.t ->
   x:Sb_util.Bitvec.t ->
   ?aux:Sb_sim.Msg.t ->
+  ?faults:(rng:Sb_util.Rng.t -> Sb_sim.Network.interceptor) ->
   Sb_util.Rng.t ->
   run
 
@@ -30,12 +35,16 @@ val sample :
   adversary:Sb_sim.Adversary.t ->
   dist:Sb_dist.Dist.t ->
   ?aux:Sb_sim.Msg.t ->
+  ?faults:(rng:Sb_util.Rng.t -> Sb_sim.Network.interceptor) ->
   Sb_util.Rng.t ->
   (run -> unit) ->
   unit
 (** Draw [setup.samples] inputs from [dist], run the protocol on each,
     and feed every run to the callback, sequentially on the calling
-    domain. *)
+    domain. [?faults] (typically [Sb_fault.Inject.compile ~n plan]) is
+    passed to every {!Sb_sim.Network.run}; each execution makes a
+    fresh interceptor from its own seed stream, so faulty runs stay as
+    reproducible as fault-free ones. *)
 
 val psample :
   ?pool:Sb_par.Pool.t ->
@@ -44,6 +53,7 @@ val psample :
   adversary:Sb_sim.Adversary.t ->
   dist:Sb_dist.Dist.t ->
   ?aux:Sb_sim.Msg.t ->
+  ?faults:(rng:Sb_util.Rng.t -> Sb_sim.Network.interceptor) ->
   init:(unit -> 'acc) ->
   f:('acc -> int -> run -> unit) ->
   merge:(into:'acc -> 'acc -> unit) ->

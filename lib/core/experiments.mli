@@ -19,6 +19,7 @@
     | E10 | Props. B.3/B.4   | G** agrees with G                               |
     | E11 | §3.2             | the echo attack, quantified                     |
     | E12 | — (ablation)     | recoverable reveals vs bare commit-open         |
+    | E15 | §3.1 model       | resilience under injected faults ({!Resilience}) |
 
     (E9, wall-clock timing, lives in bench/main.ml with Bechamel.) *)
 
@@ -43,6 +44,13 @@ val e10_gss_agreement : Setup.t -> outcome
 val e11_echo_attack : Setup.t -> outcome
 val e12_reveal_ablation : Setup.t -> outcome
 val e13_simulation : Setup.t -> outcome
+
+val e15_fault_resilience : Setup.t -> outcome
+(** Sweeps crash count x omission rate over the five broadcast
+    substrates and the three VSS protocols with {!Resilience.measure},
+    then pins the model's known boundaries: exact agreement/validity
+    on every crash-only cell, Dolev-Strong under n-1 crashes, and the
+    Bracha/EIG n/3 flip witnesses. *)
 
 val e14_figure1 : Setup.t -> outcome
 (** Re-derives every arrow of the paper's Figure 1 from E1/E5/E6/E7 and

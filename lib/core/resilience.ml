@@ -1,0 +1,158 @@
+open Sb_util
+open Sb_sim
+
+type cell = {
+  protocol : string;
+  plan : Sb_fault.Plan.t;
+  samples : int;
+  agree : Sb_stats.Estimate.interval;
+  valid : Sb_stats.Estimate.interval;
+}
+
+let substrates () =
+  List.map
+    (fun (s : Sb_broadcast.Session.scheme) ->
+      let p = Sb_broadcast.Parallel.concurrent s in
+      (p.Protocol.name, p))
+    [
+      Sb_broadcast.Send_echo.scheme;
+      Sb_broadcast.Dolev_strong.scheme;
+      Sb_broadcast.Eig.scheme;
+      Sb_broadcast.Bracha.scheme;
+      Sb_broadcast.Phase_king.scheme;
+    ]
+
+let vss_protocols () =
+  List.map
+    (fun (p : Protocol.t) -> (p.Protocol.name, p))
+    [
+      Sb_protocols.Cgma.protocol;
+      Sb_protocols.Chor_rabin.protocol;
+      Sb_protocols.Gennaro.protocol;
+    ]
+
+let crash_plan ~n ~count =
+  List.init count (fun k -> Sb_fault.Plan.crash ~party:(n - 1 - k) ~round:(k + 1))
+
+let drop_plan rate = if rate = 0.0 then [] else [ Sb_fault.Plan.drop rate ]
+
+(* Same budget funnel as Announced.run_once. *)
+let m_samples = Sb_obs.Metrics.counter "exp.samples_drawn"
+
+let run_cell_once setup ~protocol ~adversary ~faults ~crashed ~x rng =
+  Sb_obs.Metrics.incr m_samples;
+  let n = setup.Setup.n in
+  let ctx = Setup.fresh_ctx setup (Rng.split rng) in
+  let inputs = Array.init n (fun i -> Msg.Bit (Bitvec.get x i)) in
+  let r =
+    Network.run ctx ~rng ~protocol ~adversary ~inputs ~record_trace:false ~faults ()
+  in
+  let survivors =
+    List.filter (fun (i, _) -> not (List.mem i crashed)) r.Network.outputs
+  in
+  match survivors with
+  | [] -> (true, true)
+  | (_, m0) :: rest ->
+      let agree = List.for_all (fun (_, m) -> Msg.equal m m0) rest in
+      let valid =
+        match Announced.to_vector n m0 with
+        | Some w ->
+            List.for_all (fun (j, _) -> Bitvec.get w j = Bitvec.get x j) survivors
+        | None -> false
+      in
+      (agree, valid)
+
+(* The Announced.psample discipline, with per-run fault interceptors:
+   two master splits per sample (input, execution), a fixed 32-chunk
+   layout, positional merge — cells are byte-identical for every
+   [--jobs] value. *)
+let chunk_width = 32
+
+let measure ?pool setup ~protocol ~adversary ~dist ~plan rng =
+  (match Sb_fault.Plan.validate ~n:setup.Setup.n plan with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Resilience.measure: " ^ e));
+  let faults = Sb_fault.Inject.compile ~n:setup.Setup.n plan in
+  let crashed = Sb_fault.Plan.crashed_parties plan in
+  let pool = match pool with Some p -> p | None -> Sb_par.Pool.default () in
+  let total = setup.Setup.samples in
+  let streams = Sb_par.Partition.streams rng ~total ~draws_per_item:2 in
+  let chunks = Sb_par.Partition.chunks ~total ~jobs:chunk_width in
+  let accs =
+    Sb_par.Pool.map_chunks pool chunks ~f:(fun { Sb_par.Partition.lo; len } ->
+        let agreed = ref 0 and valid = ref 0 in
+        for i = lo to lo + len - 1 do
+          let x = Sb_dist.Dist.sample dist streams.(2 * i) in
+          let a, v =
+            run_cell_once setup ~protocol ~adversary ~faults ~crashed ~x
+              streams.((2 * i) + 1)
+          in
+          if a then incr agreed;
+          if v then incr valid
+        done;
+        Announced.note_domain_samples len;
+        (!agreed, !valid))
+  in
+  let agreed = Array.fold_left (fun acc (a, _) -> acc + a) 0 accs in
+  let valid = Array.fold_left (fun acc (_, v) -> acc + v) 0 accs in
+  {
+    protocol = protocol.Protocol.name;
+    plan;
+    samples = total;
+    agree = Sb_stats.Estimate.wilson ~successes:agreed total;
+    valid = Sb_stats.Estimate.wilson ~successes:valid total;
+  }
+
+(* --- boundary witnesses (n = 4, t = 1) ----------------------------- *)
+
+let wrap0 m = Sb_broadcast.Session.wrap ~sid:(Sb_broadcast.Parallel.session_id 0) m
+
+let send ~src ~dst m = Envelope.make ~src ~dst (wrap0 m)
+
+(* Corrupt sender 0 under-delivers each phase of its own Bracha
+   session: with parties {1,2,3} all alive, echo amplification closes
+   the gap and everyone accepts true; with party 3 crashed, party 1
+   holds 3 readies (quorum) while party 2 holds 2 — a split exactly at
+   the n/3 boundary. Silent in the other three sessions. *)
+let bracha_flip =
+  let v = Msg.Bit true in
+  {
+    Adversary.name = "bracha-flip";
+    choose_corrupt = (fun _ ~rng:_ -> [ 0 ]);
+    init =
+      (fun _ ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+        let act (view : Adversary.view) =
+          match view.Adversary.round with
+          | 0 ->
+              [ send ~src:0 ~dst:1 (Msg.Tag ("br-init", v));
+                send ~src:0 ~dst:2 (Msg.Tag ("br-init", v)) ]
+          | 1 ->
+              [ send ~src:0 ~dst:1 (Msg.Tag ("br-echo", v));
+                send ~src:0 ~dst:2 (Msg.Tag ("br-echo", v)) ]
+          | 2 -> [ send ~src:0 ~dst:1 (Msg.Tag ("br-ready", v)) ]
+          | _ -> []
+        in
+        { Adversary.act; adv_output = (fun () -> Msg.Unit) });
+  }
+
+(* Corrupt party 3 equivocates its level-2 EIG relay of sender 0's
+   (true) value: false to party 0, true to party 1, nothing to party
+   2. Alive, honest relays [0,1] and [0,2] outvote it at both
+   survivors; with party 2 crashed before relaying, party 0 resolves
+   {true, default, false} to default and party 1 resolves
+   {true, default, true} to true. *)
+let eig_flip =
+  let pair path v = Msg.List [ Msg.List (List.map (fun i -> Msg.Int i) path); v ] in
+  let relay v = Msg.List [ pair [ 0; 3 ] (Msg.Bit v) ] in
+  {
+    Adversary.name = "eig-flip";
+    choose_corrupt = (fun _ ~rng:_ -> [ 3 ]);
+    init =
+      (fun _ ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+        let act (view : Adversary.view) =
+          if view.Adversary.round <> 1 then []
+          else
+            [ send ~src:3 ~dst:0 (relay false); send ~src:3 ~dst:1 (relay true) ]
+        in
+        { Adversary.act; adv_output = (fun () -> Msg.Unit) });
+  }

@@ -1,0 +1,35 @@
+(** Compile a {!Plan.t} into a per-run delivery-queue interceptor.
+
+    [compile ~n plan] validates the plan once (raising
+    [Invalid_argument] on a bad one) and returns a maker suitable for
+    [Sb_sim.Network.run]'s [?faults] hook: each run calls it with a
+    dedicated RNG stream and gets a fresh interceptor whose mutable
+    state (crash flags, delay buffers) is private to that run — makers
+    are therefore safe to share across the worker domains of a
+    sampling pool, and a run's fault coins are a pure function of its
+    own seed stream, keeping results byte-identical across [--jobs]
+    values.
+
+    Per round, the interceptor applies, in order:
+
+    + crash-stop — envelopes whose source party has crashed at or
+      before this round are suppressed, whatever their destination;
+    + partitions — cross-group point-to-point envelopes within an
+      active window are dropped;
+    + drop/delay rules, in plan order; the first rule that drops or
+      delays an envelope ends its processing. One Bernoulli coin is
+      drawn per matching drop rule, in plan order, so the coin stream
+      is reproducible;
+    + release — envelopes delayed from earlier rounds re-enter the
+      queue in their original relative order once due.
+
+    Injected faults are tallied (when {!Sb_obs.Metrics} is enabled)
+    under [fault.crashes] (one per crashed party per run, at the round
+    the crash takes effect), [fault.drops] (envelopes lost to omission
+    or partition) and [fault.delayed] (envelopes held back). *)
+
+val compile :
+  n:int -> Plan.t -> rng:Sb_util.Rng.t -> Sb_sim.Network.interceptor
+(** Partially apply as [compile ~n plan] to obtain the maker for
+    [Network.run ~faults]. @raise Invalid_argument if
+    [Plan.validate ~n plan] fails. *)

@@ -35,14 +35,23 @@ let count_channels envs =
       else (b, p + 1))
     (0, 0) envs
 
+type interceptor = round:int -> Envelope.t list -> Envelope.t list
+
 let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~inputs
-    ?(aux = Msg.Unit) ?(record_trace = true) () =
+    ?(aux = Msg.Unit) ?(record_trace = true) ?faults () =
   let n = ctx.n in
   if Array.length inputs <> n then invalid_arg "Network.run: wrong number of inputs";
-  (* Independent randomness streams, in a fixed order for reproducibility. *)
+  (* Independent randomness streams, in a fixed order for reproducibility.
+     The fault stream is split last, and only when a fault hook is
+     installed, so fault-free runs replay the exact seed streams. *)
   let party_rngs = Array.init n (fun _ -> Sb_util.Rng.split rng) in
   let adv_rng = Sb_util.Rng.split rng in
   let func_rng = Sb_util.Rng.split rng in
+  let intercept =
+    match faults with
+    | None -> None
+    | Some make -> Some (make ~rng:(Sb_util.Rng.split rng))
+  in
   let corrupted = adversary.choose_corrupt ctx ~rng:adv_rng in
   assert (Sb_util.Subset.is_valid n corrupted);
   assert (List.length corrupted <= ctx.thresh);
@@ -105,6 +114,13 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
         adv_out_raw
     in
     let all_out = if last then [] else honest_out @ adv_out in
+    (* 3b. Fault injection at the delivery queue: crashed senders are
+       silenced (even towards the functionality), lossy/partitioned
+       links drop, delayed envelopes are re-injected in a later round.
+       Everything above this point saw the traffic as sent. *)
+    let all_out =
+      match intercept with None -> all_out | Some f -> f ~round all_out
+    in
     (* 4. Functionality consumes Func-bound traffic of this round. *)
     let func_in = List.filter Envelope.is_func_bound all_out in
     let func_out = functionality.Functionality.f_step ~round ~inbox:func_in in

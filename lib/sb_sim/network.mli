@@ -27,6 +27,14 @@ type result = {
   trace : Trace.t;
 }
 
+type interceptor = round:int -> Envelope.t list -> Envelope.t list
+(** A delivery-queue filter: receives the envelopes emitted in [round]
+    (honest, adversarial, and — on the way in — functionality-bound
+    traffic) and returns what the queue actually carries into the next
+    round. An interceptor may drop envelopes, hold them back and
+    re-inject them in a later call, but must never forge new sources;
+    it is the mechanism [Sb_fault] compiles fault plans into. *)
+
 val run :
   Ctx.t ->
   rng:Sb_util.Rng.t ->
@@ -35,6 +43,7 @@ val run :
   inputs:Msg.t array ->
   ?aux:Msg.t ->
   ?record_trace:bool ->
+  ?faults:(rng:Sb_util.Rng.t -> interceptor) ->
   unit ->
   result
 (** [inputs] must have length [ctx.n]. The given [rng] is split into
@@ -45,7 +54,15 @@ val run :
     envelope trace is not retained — [result.trace] is [[]] — which
     removes the dominant allocation of a run. [p2p_messages] is tallied
     incrementally and unaffected. Monte-Carlo samplers, which never
-    read the trace, pass [false]; outputs are identical either way. *)
+    read the trace, pass [false]; outputs are identical either way.
+
+    [faults], when given, is called once per run with a dedicated RNG
+    stream (split from [rng] after the party/adversary/functionality
+    streams, so a run with an inert interceptor is byte-identical to a
+    run without one) and the resulting {!interceptor} filters every
+    round's outgoing traffic before it reaches the delivery queue. The
+    adversary's rushing view and the [trace] record traffic as *sent*,
+    pre-fault; what the interceptor drops simply never arrives. *)
 
 val honest_run :
   Ctx.t -> rng:Sb_util.Rng.t -> protocol:Protocol.t -> inputs:Msg.t array -> result

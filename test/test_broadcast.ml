@@ -301,6 +301,51 @@ let test_bracha_no_quorum_defaults () =
   let r = Network.run ctx ~rng:(fresh_rng ()) ~protocol ~adversary:adv ~inputs () in
   check_all_agree ~msg:"default on silence" (Msg.Bit false) r.Network.outputs
 
+let test_spoofed_sources_counted () =
+  (* A corrupted party impersonating honest senders: the authenticated
+     network must discard exactly the spoofed envelopes AND tally them
+     under sim.forgeries_dropped (the outputs-only check above cannot
+     tell "dropped" from "ignored by the protocol"). *)
+  let protocol = session_protocol Sb_broadcast.Send_echo.scheme ~sender:0 in
+  let spoof_rounds = 2 in
+  let adv =
+    {
+      Adversary.name = "spoofer";
+      choose_corrupt = (fun _ ~rng:_ -> [ 3 ]);
+      init =
+        (fun _ ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+          {
+            Adversary.act =
+              (fun view ->
+                if view.Adversary.round >= spoof_rounds then []
+                else
+                  (* Two forged envelopes (src 1 and 2) plus one honestly
+                     sourced one that must pass the filter. *)
+                  List.map
+                    (fun src ->
+                      Envelope.make ~src ~dst:2
+                        (Sb_broadcast.Session.wrap ~sid:"test"
+                           (Msg.Tag ("echo", Msg.Bit false))))
+                    [ 1; 2; 3 ]);
+            adv_output = (fun () -> Msg.Unit);
+          });
+    }
+  in
+  Sb_obs.Metrics.reset ();
+  Sb_obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Sb_obs.Metrics.set_enabled false;
+      Sb_obs.Metrics.reset ())
+    (fun () ->
+      let ctx = make_ctx () in
+      let inputs = Array.make 4 (Msg.Bit true) in
+      let r = Network.run ctx ~rng:(fresh_rng ()) ~protocol ~adversary:adv ~inputs () in
+      check_all_agree ~msg:"spoofing changes nothing" (Msg.Bit true) r.Network.outputs;
+      Alcotest.(check int) "exactly the forged envelopes are tallied"
+        (2 * spoof_rounds)
+        (Sb_obs.Metrics.counter_value (Sb_obs.Metrics.counter "sim.forgeries_dropped")))
+
 (* --- Phase King (needs n > 4t: use n = 5, t = 1) ------------------- *)
 
 let test_phase_king_honest () =
@@ -419,6 +464,7 @@ let () =
             test_dolev_strong_rejects_forgery;
           Alcotest.test_case "eig with two corruptions" `Quick test_eig_two_corruptions;
           Alcotest.test_case "bracha silence defaults" `Quick test_bracha_no_quorum_defaults;
+          Alcotest.test_case "spoofed sources counted" `Quick test_spoofed_sources_counted;
         ] );
       ( "phase-king",
         [

@@ -103,6 +103,8 @@ let () =
             (check_outcome "E13" (fun () -> Core.Experiments.e13_simulation setup));
           Alcotest.test_case "E14 figure 1" `Slow
             (check_outcome "E14" (fun () -> Core.Experiments.e14_figure1 setup));
+          Alcotest.test_case "E15 fault resilience" `Slow
+            (check_outcome "E15" (fun () -> Core.Experiments.e15_fault_resilience setup));
         ] );
       ("e8-details", [ Alcotest.test_case "message growth" `Quick test_e8_monotone_details ]);
       ( "robustness",
