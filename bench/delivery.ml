@@ -1,0 +1,66 @@
+(* Delivery-engine probe: wall-clock for honest runs of the p2p
+   broadcast substrates as n grows. This is the hot path the
+   route-indexed engine targets (O(n^2) envelopes per round); run it
+   before and after engine changes to quantify the delivery cost.
+
+   Usage:
+     dune exec bench/delivery.exe                  -- default n sweep, all substrates
+     dune exec bench/delivery.exe -- 32            -- single n
+     dune exec bench/delivery.exe -- 32 --reps=10  -- more repetitions per cell *)
+
+let substrates =
+  [
+    Sb_broadcast.Send_echo.scheme;
+    Sb_broadcast.Dolev_strong.scheme;
+    Sb_broadcast.Eig.scheme;
+    Sb_broadcast.Bracha.scheme;
+    Sb_broadcast.Phase_king.scheme;
+  ]
+
+let time_cell (protocol : Sb_sim.Protocol.t) ~n ~reps =
+  let rng = Sb_util.Rng.create (9000 + n) in
+  let ctx = Sb_sim.Ctx.make ~rng ~n ~thresh:1 ~k:8 () in
+  let inputs = Array.init n (fun i -> Sb_sim.Msg.Bit (i mod 2 = 0)) in
+  (* One warm-up run, then the timed repetitions. *)
+  let r = Sb_sim.Network.honest_run ctx ~rng ~protocol ~inputs in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sb_sim.Network.honest_run ctx ~rng ~protocol ~inputs)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  (dt /. float_of_int reps, r.Sb_sim.Network.p2p_messages)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let reps =
+    List.fold_left
+      (fun acc a ->
+        match String.index_opt a '=' with
+        | Some i when String.sub a 0 i = "--reps" ->
+            int_of_string (String.sub a (i + 1) (String.length a - i - 1))
+        | _ -> acc)
+      5 args
+  in
+  let ns =
+    match List.filter_map int_of_string_opt args with [] -> [ 8; 16; 32; 64 ] | l -> l
+  in
+  let table =
+    Sb_util.Tabular.create ~title:"delivery probe (honest runs, thresh = 1)"
+      ~columns:[ "substrate"; "n"; "ms/run"; "p2p msgs" ]
+  in
+  List.iter
+    (fun (s : Sb_broadcast.Session.scheme) ->
+      let protocol = Sb_broadcast.Parallel.concurrent s in
+      List.iter
+        (fun n ->
+          let secs, msgs = time_cell protocol ~n ~reps in
+          Sb_util.Tabular.add_row table
+            [
+              protocol.Sb_sim.Protocol.name;
+              string_of_int n;
+              Printf.sprintf "%.2f" (secs *. 1e3);
+              string_of_int msgs;
+            ])
+        ns)
+    substrates;
+  Sb_util.Tabular.print table

@@ -1,8 +1,11 @@
 (* Benchmark harness: regenerates every table of the reproduction
-   (experiments E1-E13, one printed table per paper claim) and then
+   (experiments E1-E16, one printed table per paper claim) and then
    times the protocol substrates with Bechamel (E9). Every invocation
+   also times one fixed 20k-sample G-tester run ("gtester-smoke/20k" in
+   the timings block — the scalar CI guards against regression) and
    ends by writing a machine-readable BENCH_<tag>.json run report
-   (schema in EXPERIMENTS.md) — the perf trajectory artifact.
+   (schema in EXPERIMENTS.md) — the perf trajectory artifact, which
+   since schema v2 carries the comm block (message/byte totals).
 
    Usage:
      dune exec bench/main.exe            -- everything (default budget)
@@ -149,6 +152,48 @@ let run_timing () =
   Sb_util.Tabular.print table;
   List.rev !entries
 
+(* --- G-tester smoke: the fixed-cost delivery-path guard ------------ *)
+
+(* One G-independence run at a pinned 20k-sample budget — the
+   sampler's hot loop is dominated by network delivery, so this scalar
+   tracks the engine itself across commits. Recorded in every
+   BENCH_*.json (timings entry "gtester-smoke/20k"); CI diffs it
+   against the committed quick baseline. *)
+let run_gtester_smoke () =
+  let setup = Core.Setup.with_samples 20_000 Core.Setup.default in
+  let n = setup.Core.Setup.n in
+  let protocol = Sb_protocols.Gennaro.protocol in
+  let adversary = Core.Adversaries.semi_honest protocol ~corrupt:[ n - 2; n - 1 ] in
+  let t0 = Unix.gettimeofday () in
+  let r = Core.G_test.run setup ~protocol ~adversary ~dist:(Sb_dist.Dist.uniform n) () in
+  let wall = Unix.gettimeofday () -. t0 in
+  say "== gtester-smoke: 20k samples in %.2fs (verdict %s) ==" wall
+    (Sb_stats.Verdict.to_string r.Core.G_test.verdict);
+  { Sb_obs.Report.bench_name = "gtester-smoke/20k"; ns_per_run = wall *. 1e9; r_square = 1.0 }
+
+(* --- comm totals (schema v2) --------------------------------------- *)
+
+let comm_totals () =
+  let c name = Sb_obs.Metrics.counter_value (Sb_obs.Metrics.counter name) in
+  ( c "sim.broadcasts",
+    c "sim.p2p",
+    c "sim.bytes.broadcast",
+    c "sim.bytes.p2p" )
+
+let print_comm () =
+  let bc, p2p, bc_b, p2p_b = comm_totals () in
+  say "== comm totals: %d broadcasts (%d B), %d p2p msgs (%d B) ==" bc bc_b p2p p2p_b;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir "comm.csv" in
+      let oc = open_out path in
+      output_string oc "broadcasts,p2p_messages,broadcast_bytes,p2p_bytes\n";
+      Printf.fprintf oc "%d,%d,%d,%d\n" bc p2p bc_b p2p_b;
+      close_out oc;
+      say "wrote %s" path
+
 (* --- entry --------------------------------------------------------- *)
 
 let () =
@@ -190,6 +235,8 @@ let () =
   let timings =
     if (not tables_only) && (ids = [] || timing_only) then run_timing () else []
   in
+  let timings = timings @ [ run_gtester_smoke () ] in
+  print_comm ();
   let tag =
     if quick then "quick"
     else if timing_only then "timing"

@@ -209,7 +209,7 @@ let list_cmd =
     Sb_util.Tabular.print table;
     Printf.printf "distributions: %s\n" (String.concat ", " dist_names);
     Printf.printf "adversaries  : %s\n" (String.concat ", " adversary_names);
-    Printf.printf "experiments  : e1..e8, e10..e15  (see bench/main.exe; e9 = its timing section)\n";
+    Printf.printf "experiments  : e1..e8, e10..e16  (see bench/main.exe; e9 = its timing section)\n";
     Printf.printf "fault plans  : crash:P@R  drop:PROB[:S->D]  delay:BY[:S->D]  part:G|G@A-B  (fault-sweep, run --faults)\n"
   in
   Cmd.v (Cmd.info "list" ~doc:"List protocols, distributions and adversaries")
@@ -446,7 +446,7 @@ let exact_cmd =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id (e1..e8, e10..e15)." in
+    let doc = "Experiment id (e1..e8, e10..e16)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let quick_arg =
@@ -503,7 +503,7 @@ let experiment_cmd =
         `Ok ()
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E15)")
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E16)")
     Term.(ret (const run $ id_arg $ quick_arg $ csv_arg $ metrics_arg $ report_arg $ jobs_arg))
 
 (* --- fault-sweep ----------------------------------------------------- *)

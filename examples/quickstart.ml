@@ -23,6 +23,8 @@ let () =
   Format.printf "rounds: %d, broadcasts used: %d@."
     result.Network.rounds_used
     (Trace.broadcast_count result.Network.trace);
+  let bcast_bytes, p2p_bytes = Trace.wire_bytes result.Network.trace in
+  Format.printf "wire cost: %d broadcast bytes, %d p2p bytes@." bcast_bytes p2p_bytes;
 
   (* --- 2. Why "parallel" is not "simultaneous" (Section 3.2). ------ *)
   let setup = Core.Setup.{ default with samples = 2000 } in

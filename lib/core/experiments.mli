@@ -52,6 +52,13 @@ val e15_fault_resilience : Setup.t -> outcome
     on every crash-only cell, Dolev-Strong under n-1 crashes, and the
     Bracha/EIG n/3 flip witnesses. *)
 
+val e16_wire_complexity : ?ns:int list -> ?thresh:int -> unit -> outcome
+(** Sweeps n over the five broadcast substrates on honest runs and
+    reports rounds, p2p message count, broadcast count, wire bytes
+    ({!Sb_sim.Trace.wire_bytes}) and wall clock; pins rounds constant
+    in n and message/byte growth to the Theta(n^3) band (n sessions of
+    an all-to-all scheme). *)
+
 val e14_figure1 : Setup.t -> outcome
 (** Re-derives every arrow of the paper's Figure 1 from E1/E5/E6/E7 and
     renders the verified diagram; the closing artifact of the bench

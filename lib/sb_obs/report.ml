@@ -1,4 +1,4 @@
-let schema_version = 1
+let schema_version = 2
 
 type experiment_entry = {
   id : string;
@@ -30,6 +30,19 @@ let timing_to_json (t : timing_entry) =
       ("r_square", Json.Float t.r_square);
     ]
 
+(* Schema v2: the communication-cost block, read off the sim.* counters
+   as they stand. Counters that never fired read as 0, so the block is
+   always present and always complete. *)
+let comm_to_json () =
+  let c name = Json.Int (Metrics.counter_value (Metrics.counter name)) in
+  Json.Obj
+    [
+      ("broadcasts", c "sim.broadcasts");
+      ("p2p_messages", c "sim.p2p");
+      ("broadcast_bytes", c "sim.bytes.broadcast");
+      ("p2p_bytes", c "sim.bytes.p2p");
+    ]
+
 let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings = []) () =
   Json.Obj
     ([
@@ -41,6 +54,7 @@ let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings
       | None -> []
       | Some j -> [ ("parallel", Json.Obj [ ("jobs", Json.Int j) ]) ])
     @ [ ("experiments", Json.List (List.map experiment_to_json experiments)) ]
+    @ [ ("comm", comm_to_json ()) ]
     @ (if timings = [] then []
        else [ ("timings", Json.List (List.map timing_to_json timings)) ])
     @ [ ("metrics", Metrics.to_json ()); ("spans", Span.to_json ()) ])
@@ -75,6 +89,17 @@ let validate json =
         let* _ = require (id ^ ": wall_clock_s not numeric") (Json.to_float_opt wc) in
         Ok ())
       (Ok ()) exps
+  in
+  let* comm = require "missing comm" (Json.member "comm" json) in
+  let* () =
+    List.fold_left
+      (fun acc field ->
+        let* () = acc in
+        let* v = require ("comm missing " ^ field) (Json.member field comm) in
+        let* _ = require ("comm " ^ field ^ " not an int") (Json.to_int_opt v) in
+        Ok ())
+      (Ok ())
+      [ "broadcasts"; "p2p_messages"; "broadcast_bytes"; "p2p_bytes" ]
   in
   let* metrics = require "missing metrics" (Json.member "metrics" json) in
   let* _ = require "metrics missing counters" (Json.member "counters" metrics) in

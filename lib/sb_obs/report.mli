@@ -31,12 +31,19 @@ val make :
     [Metrics.to_json ()] and [Span.to_json ()] as they stand. [jobs],
     when given, is recorded under a ["parallel"] object — the domain
     count the run used; per-domain sample shares appear alongside as
-    [par.domain<k>.samples] counters in the metrics snapshot. *)
+    [par.domain<k>.samples] counters in the metrics snapshot.
+
+    Since schema v2 every report also carries a ["comm"] object —
+    [broadcasts], [p2p_messages], [broadcast_bytes], [p2p_bytes] —
+    snapshotting the network's [sim.broadcasts], [sim.p2p] and
+    [sim.bytes.*] counters, so byte trajectories can be diffed across
+    runs without digging into the metrics blob. *)
 
 val write_file : string -> Json.t -> unit
 (** Pretty-printed, trailing newline. *)
 
 val validate : Json.t -> (unit, string) result
 (** Structural check: schema_version matches, the experiments array is
-    well-formed (id/ok/wall_clock_s present), metrics object present.
-    Used by tests and the CI smoke step. *)
+    well-formed (id/ok/wall_clock_s present), the [comm] object carries
+    all four integer totals, metrics object present. Used by tests and
+    the CI smoke step. *)

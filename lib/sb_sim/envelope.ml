@@ -20,6 +20,16 @@ let is_from_func e = e.src = Func
 let delivered_to e i =
   match e.dst with Party j -> j = i | All -> true | Func -> false
 
+(* Addressing header cost: endpoints render as "P<id>", "F" or "*"
+   (one char plus the decimal id for parties). *)
+let endpoint_size = function
+  | Party i ->
+      let rec digits acc n = if n < 10 then acc else digits (acc + 1) (n / 10) in
+      1 + digits 1 i
+  | Func | All -> 1
+
+let wire_size e = endpoint_size e.src + endpoint_size e.dst + Msg.size_bytes e.body
+
 let pp_endpoint fmt = function
   | Party i -> Format.fprintf fmt "P%d" i
   | Func -> Format.pp_print_string fmt "F"

@@ -46,4 +46,11 @@ val delivered_to : t -> int -> bool
 (** Whether the envelope reaches party [i]'s inbox: direct address or
     broadcast. *)
 
+val wire_size : t -> int
+(** Bytes this envelope would occupy on a wire: the {!Msg.size_bytes}
+    of the body plus a canonical addressing header (endpoints as
+    rendered by {!pp}: ["P<id>"], ["F"], or ["*"]). A broadcast
+    envelope is one channel use: its size counts once, not once per
+    recipient — matching how [sim.broadcasts] counts messages. *)
+
 val pp : Format.formatter -> t -> unit

@@ -20,7 +20,34 @@ let rec equal a b =
   | Tag (s, x), Tag (r, y) -> String.equal s r && equal x y
   | (Unit | Bit _ | Int _ | Fe _ | Ge _ | Str _ | List _ | Tag _), _ -> false
 
-let compare = Stdlib.compare
+(* Structural order, consistent with [equal]: constructors rank in
+   declaration order, payloads compare via their own module's order
+   (canonical int representatives for the abstract Field/Modgroup
+   elements — never polymorphic compare, which would peek through the
+   private abstraction and break if a representation changed). *)
+let rank = function
+  | Unit -> 0
+  | Bit _ -> 1
+  | Int _ -> 2
+  | Fe _ -> 3
+  | Ge _ -> 4
+  | Str _ -> 5
+  | List _ -> 6
+  | Tag _ -> 7
+
+let rec compare a b =
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Bit x, Bit y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Fe x, Fe y -> Int.compare (Sb_crypto.Field.to_int x) (Sb_crypto.Field.to_int y)
+  | Ge x, Ge y -> Int.compare (Sb_crypto.Modgroup.to_int x) (Sb_crypto.Modgroup.to_int y)
+  | Str x, Str y -> String.compare x y
+  | List x, List y -> List.compare compare x y
+  | Tag (s, x), Tag (r, y) -> (
+      match String.compare s r with 0 -> compare x y | c -> c)
+  | (Unit | Bit _ | Int _ | Fe _ | Ge _ | Str _ | List _ | Tag _), _ ->
+      Int.compare (rank a) (rank b)
 
 let rec pp fmt = function
   | Unit -> Format.pp_print_string fmt "()"
@@ -64,3 +91,115 @@ let rec serialize m =
   | Str s -> with_len 's' s
   | List l -> with_len 'l' (String.concat "" (List.map (fun x -> with_len 'e' (serialize x)) l))
   | Tag (s, x) -> with_len 't' (with_len 'n' s ^ serialize x)
+
+(* Wire size = |serialize m|, computed structurally so byte accounting
+   on the network hot path never materialises the encoded string.
+   [prefixed len] mirrors [with_len]: tag char + decimal length + ':' +
+   payload. Pinned to the codec by a property test in test_sim.ml. *)
+let digits n =
+  let rec go acc n = if n < 10 then acc else go (acc + 1) (n / 10) in
+  go 1 n
+
+let prefixed len = 2 + digits len + len
+
+let int_digits i = if i < 0 then 1 + digits (-i) else digits i
+
+let rec size_bytes = function
+  | Unit -> 1
+  | Bit _ -> 2
+  | Int i -> prefixed (int_digits i)
+  | Fe f -> prefixed (digits (Sb_crypto.Field.to_int f))
+  | Ge g -> prefixed (digits (Sb_crypto.Modgroup.to_int g))
+  | Str s -> prefixed (String.length s)
+  | List l -> prefixed (List.fold_left (fun acc x -> acc + prefixed (size_bytes x)) 0 l)
+  | Tag (s, x) -> prefixed (prefixed (String.length s) + size_bytes x)
+
+(* Inverse of [serialize]; [None] on anything the encoder cannot have
+   produced (bad framing, trailing bytes, non-canonical field or
+   non-member group representatives). *)
+let deserialize s =
+  let len = String.length s in
+  (* Parse "<digits>:<payload>" at [pos]; return (payload lo, payload len, next pos). *)
+  let framed pos =
+    let rec scan_len p acc =
+      if p >= len then None
+      else
+        match s.[p] with
+        | '0' .. '9' -> scan_len (p + 1) ((10 * acc) + (Char.code s.[p] - Char.code '0'))
+        | ':' when p > pos -> Some (p + 1, acc)
+        | _ -> None
+    in
+    (* Canonical lengths only (no "02:"): accepted strings are exactly
+       the serializer's image at the framing layer. *)
+    if pos + 1 < len && s.[pos] = '0' && s.[pos + 1] <> ':' then None
+    else
+      match scan_len pos 0 with
+      | Some (lo, plen) when lo + plen <= len -> Some (lo, plen)
+      | _ -> None
+  in
+  let rec value pos limit =
+    if pos >= limit then None
+    else
+      match s.[pos] with
+      | 'u' -> Some (Unit, pos + 1)
+      | 'b' ->
+          if pos + 1 >= limit then None
+          else (
+            match s.[pos + 1] with
+            | '1' -> Some (Bit true, pos + 2)
+            | '0' -> Some (Bit false, pos + 2)
+            | _ -> None)
+      | ('i' | 'f' | 'g' | 's' | 'l' | 't') as c -> (
+          match framed (pos + 1) with
+          | Some (lo, plen) when lo + plen <= limit -> (
+              let stop = lo + plen in
+              let payload () = String.sub s lo plen in
+              match c with
+              | 'i' -> (
+                  match int_of_string_opt (payload ()) with
+                  | Some i when String.equal (payload ()) (string_of_int i) ->
+                      Some (Int i, stop)
+                  | _ -> None)
+              | 'f' -> (
+                  match int_of_string_opt (payload ()) with
+                  | Some i
+                    when i >= 0 && i < Sb_crypto.Field.p
+                         && String.equal (payload ()) (string_of_int i) ->
+                      Some (Fe (Sb_crypto.Field.of_int i), stop)
+                  | _ -> None)
+              | 'g' -> (
+                  match int_of_string_opt (payload ()) with
+                  | Some i
+                    when Sb_crypto.Modgroup.is_member i
+                         && String.equal (payload ()) (string_of_int i) ->
+                      Some (Ge (Sb_crypto.Modgroup.of_int_exn i), stop)
+                  | _ -> None)
+              | 's' -> Some (Str (payload ()), stop)
+              | 'l' ->
+                  let rec elems pos acc =
+                    if pos = stop then Some (List (List.rev acc), stop)
+                    else if pos >= stop || s.[pos] <> 'e' then None
+                    else
+                      match framed (pos + 1) with
+                      | Some (elo, eplen) when elo + eplen <= stop -> (
+                          match value elo (elo + eplen) with
+                          | Some (m, p) when p = elo + eplen -> elems p (m :: acc)
+                          | _ -> None)
+                      | _ -> None
+                  in
+                  elems lo []
+              | 't' -> (
+                  if lo >= stop || s.[lo] <> 'n' then None
+                  else
+                    match framed (lo + 1) with
+                    | Some (nlo, nlen) when nlo + nlen <= stop -> (
+                        match value (nlo + nlen) stop with
+                        | Some (m, p) when p = stop ->
+                            Some (Tag (String.sub s nlo nlen, m), stop)
+                        | _ -> None)
+                    | _ -> None)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None
+  in
+  match value 0 len with Some (m, pos) when pos = len -> Some m | _ -> None

@@ -18,7 +18,15 @@ type t =
   | Tag of string * t
 
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** Structural total order, consistent with [equal]
+    ([compare a b = 0] iff [equal a b]): constructors rank in
+    declaration order, same-constructor payloads compare via their own
+    module's order (canonical integer representatives for [Fe]/[Ge]).
+    Not polymorphic compare — abstract crypto payloads are never
+    inspected through their representation. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
@@ -41,3 +49,16 @@ val untag_exn : string -> t -> t
 
 val serialize : t -> string
 (** Injective encoding, used as input to hashing and signatures. *)
+
+val deserialize : string -> t option
+(** Inverse of {!serialize}: [deserialize (serialize m)] is [Some m]
+    for every message; [None] on strings the encoder cannot produce
+    (bad framing, trailing bytes, non-canonical or non-member
+    [Fe]/[Ge] representatives). Together with the round-trip property
+    test this proves the codec injective, which is what wire-size
+    accounting rests on. *)
+
+val size_bytes : t -> int
+(** [String.length (serialize m)], computed structurally without
+    materialising the encoding — the per-envelope cost behind the
+    network's [sim.bytes.*] counters. *)

@@ -22,6 +22,8 @@ let m_adv = Sb_obs.Metrics.counter "sim.envelopes.adv"
 let m_func = Sb_obs.Metrics.counter "sim.envelopes.func"
 let m_bcast = Sb_obs.Metrics.counter "sim.broadcasts"
 let m_p2p = Sb_obs.Metrics.counter "sim.p2p"
+let m_bytes_bcast = Sb_obs.Metrics.counter "sim.bytes.broadcast"
+let m_bytes_p2p = Sb_obs.Metrics.counter "sim.bytes.p2p"
 let m_forged = Sb_obs.Metrics.counter "sim.forgeries_dropped"
 let h_round_us = Sb_obs.Metrics.histogram "sim.round_duration_us"
 
@@ -35,8 +37,37 @@ let count_channels envs =
       else (b, p + 1))
     (0, 0) envs
 
+let count_bytes envs =
+  (* (broadcast, p2p) wire bytes; a broadcast envelope is one channel
+     use and counted once, matching sim.broadcasts. *)
+  List.fold_left
+    (fun (b, p) e ->
+      if Envelope.is_func_bound e then (b, p)
+      else if Envelope.is_broadcast e then (b + Envelope.wire_size e, p)
+      else (b, p + Envelope.wire_size e))
+    (0, 0) envs
+
 type interceptor = round:int -> Envelope.t list -> Envelope.t list
 
+(* The round loop runs five explicit phases over a route-indexed
+   delivery queue (see Router):
+
+     deliver    parties and the adversary read this round's mailboxes;
+     collect    honest parties step and emit their outgoing envelopes;
+     rush       the adversary observes same-round honest traffic and
+                answers; spoofed sources are dropped;
+     intercept  the fault interceptor filters the flat outgoing queue
+                (honest + adversarial + functionality-bound traffic,
+                exactly as sent);
+     route      the functionality consumes Func-bound envelopes, and
+                the surviving queue — party traffic first, then
+                functionality replies — is dispatched into the next
+                round's router.
+
+   The router preserves enqueue order per recipient (Router's ordering
+   invariant), so each phase sees byte-for-byte what the seed
+   list-filter engine showed it; only the delivery cost changed, from
+   O(parties x envelopes) to O(envelopes) per round. *)
 let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~inputs
     ?(aux = Msg.Unit) ?(record_trace = true) ?faults () =
   let n = ctx.n in
@@ -74,54 +105,60 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
       ~aux
   in
   let total_rounds = protocol.rounds ctx in
-  let pending = ref [] in
-  (* envelopes to deliver next round *)
+  (* Two routers ping-pong across rounds: [mailboxes] holds this
+     round's deliveries, [staging] is cleared and refilled with the
+     next round's queue, then they swap. *)
+  let mailboxes = ref (Router.create n) in
+  let staging = ref (Router.create n) in
   let trace = ref [] in
   (* Monte-Carlo sampling passes [record_trace:false]: the per-round
      envelope lists are then dropped as soon as the round ends instead
      of being retained for the whole run, and the p2p tally below is
      the only thing kept. *)
   let p2p_count = ref 0 in
-  let deliveries_to id envs = List.filter (fun e -> Envelope.delivered_to e id) envs in
   Sb_obs.Metrics.incr m_runs;
   for round = 0 to total_rounds do
     let metrics_on = Sb_obs.Metrics.enabled () in
     let t0 = if metrics_on then Unix.gettimeofday () else 0.0 in
-    let inbox_all = !pending in
+    let inbox_router = !mailboxes in
     let last = round = total_rounds in
-    (* 1. Honest parties step. *)
+    (* 1. Deliver + collect: honest parties step on their mailboxes. *)
     let honest_out =
       List.concat_map
         (fun (id, party) ->
-          let out = party.Party.step ~round ~inbox:(deliveries_to id inbox_all) in
+          let out = party.Party.step ~round ~inbox:(Router.inbox inbox_router id) in
           (* Authenticated channels: an honest party only speaks as itself. *)
           List.iter (fun e -> assert (Envelope.src_is e id)) out;
           out)
         parties
     in
-    (* 2. Rushing view for the adversary: same-round honest traffic,
-       minus the ideal channel to the functionality. *)
+    (* 2. Rush: the adversary sees same-round honest traffic — minus
+       the ideal channel to the functionality — plus everything the
+       router delivered to the corrupted set this round. *)
     let rushed = List.filter (fun e -> not (Envelope.is_func_bound e)) honest_out in
-    let delivered =
-      List.filter (fun e -> List.exists (fun i -> Envelope.delivered_to e i) corrupted) inbox_all
-    in
+    let delivered = Router.delivered_to_any inbox_router corrupted in
     let adv_out_raw = strategy.Adversary.act { round; delivered; rushed } in
-    (* 3. Drop spoofed envelopes. *)
+    (* Drop spoofed envelopes. *)
     let adv_out =
       List.filter
         (fun e ->
           match Envelope.src_party e with Some i -> is_corrupt.(i) | None -> false)
         adv_out_raw
     in
+    (* 3. Intercept: fault injection at the delivery queue. Crashed
+       senders are silenced (even towards the functionality),
+       lossy/partitioned links drop, delayed envelopes are re-injected
+       in a later round. Everything above this point saw the traffic
+       as sent; the interceptor always receives the full flattened
+       queue, before any routing. *)
     let all_out = if last then [] else honest_out @ adv_out in
-    (* 3b. Fault injection at the delivery queue: crashed senders are
-       silenced (even towards the functionality), lossy/partitioned
-       links drop, delayed envelopes are re-injected in a later round.
-       Everything above this point saw the traffic as sent. *)
     let all_out =
       match intercept with None -> all_out | Some f -> f ~round all_out
     in
-    (* 4. Functionality consumes Func-bound traffic of this round. *)
+    (* 4. Route: the functionality consumes Func-bound traffic of this
+       round, then the queue — party traffic first, then the
+       functionality's replies — is dispatched into the next round's
+       mailboxes. *)
     let func_in = List.filter Envelope.is_func_bound all_out in
     let func_out = functionality.Functionality.f_step ~round ~inbox:func_in in
     List.iter (fun e -> assert (Envelope.is_from_func e)) func_out;
@@ -146,9 +183,19 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
       let hb, hp = count_channels honest_out and ab, ap = count_channels adv_out in
       Sb_obs.Metrics.incr ~by:(hb + ab) m_bcast;
       Sb_obs.Metrics.incr ~by:(hp + ap) m_p2p;
+      let hbb, hpb = count_bytes honest_out and abb, apb = count_bytes adv_out in
+      Sb_obs.Metrics.incr ~by:(hbb + abb) m_bytes_bcast;
+      Sb_obs.Metrics.incr ~by:(hpb + apb) m_bytes_p2p;
       Sb_obs.Metrics.observe h_round_us ((Unix.gettimeofday () -. t0) *. 1e6)
     end;
-    pending := List.filter (fun e -> not (Envelope.is_func_bound e)) all_out @ func_out;
+    let next = !staging in
+    Router.clear next;
+    List.iter
+      (fun e -> if not (Envelope.is_func_bound e) then Router.route next e)
+      all_out;
+    Router.route_all next func_out;
+    staging := inbox_router;
+    mailboxes := next;
     if record_trace && not last then
       trace :=
         { Trace.round; honest_sent = honest_out; adv_sent = adv_out; func_sent = func_out }

@@ -1,6 +1,16 @@
 (** The partially synchronous network of §3.1, executable.
 
-    Each round proceeds in a fixed order that encodes the model:
+    Delivery is route-indexed: each round's queue lives in a {!Router}
+    whose per-recipient mailboxes preserve enqueue order, so inboxes
+    are read in linear time instead of re-filtering a flat list per
+    party, while staying byte-identical to the flat-list semantics
+    (Router's ordering invariant; pinned by test/test_router.ml).
+    Wire-size accounting rides on the same loop: with metrics enabled,
+    [sim.bytes.broadcast] and [sim.bytes.p2p] accumulate
+    {!Envelope.wire_size} over party-sourced traffic.
+
+    Each round proceeds in a fixed order that encodes the model
+    (deliver -> collect -> rush -> intercept -> route):
 
     + honest parties step on the envelopes delivered this round and
       produce their outgoing envelopes;

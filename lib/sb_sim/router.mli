@@ -1,0 +1,60 @@
+(** Route-indexed delivery for one round of the simulated network.
+
+    The round loop used to deliver by re-filtering one flat envelope
+    list per party ([List.filter (delivered_to id)]), which costs
+    O(parties x envelopes) per round — cubic in n for the
+    O(n^2)-message broadcast substrates. A router instead dispatches
+    each envelope once at enqueue time into per-recipient mailboxes;
+    broadcast envelopes are stored once in a shared buffer and fanned
+    out at read time. Reading an inbox is then linear in its size.
+
+    {b Ordering invariant.} Every routed envelope is stamped with a
+    global sequence number in enqueue order, and every read-side
+    operation merges its buffers by that stamp. Consequently
+    [inbox t i] is exactly
+    [List.filter (fun e -> Envelope.delivered_to e i) queue] for the
+    flat [queue] in enqueue order — envelope for envelope, in the same
+    order — which is what keeps the refactored engine byte-identical
+    to the seed list-filter delivery. The differential tests in
+    [test/test_router.ml] pin this equivalence.
+
+    Routers are single-domain mutable values; the network owns two and
+    ping-pongs them between rounds via {!clear}. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes an empty router for parties [0 .. n-1]. *)
+
+val clear : t -> unit
+(** Empty all mailboxes, retaining their capacity (the round loop
+    reuses two routers for the whole run). *)
+
+val route : t -> Envelope.t -> unit
+(** Enqueue one envelope: direct and functionality-sourced traffic
+    goes to the destination party's mailbox, broadcast traffic to the
+    shared broadcast buffer. Raises [Invalid_argument] on a
+    functionality-bound envelope — those are consumed by the
+    functionality before routing, never delivered to a party. *)
+
+val route_all : t -> Envelope.t list -> unit
+(** [route] each envelope in list order. *)
+
+val inbox : t -> int -> Envelope.t list
+(** Everything delivered to party [i], in enqueue order: the merge of
+    [i]'s direct mailbox with the broadcast buffer. *)
+
+val delivered_to_any : t -> int list -> Envelope.t list
+(** [delivered_to_any t ids] is every envelope delivered to at least
+    one party in [ids] — each envelope once, in enqueue order: the
+    adversary's view of traffic reaching the corrupted set. [ids] must
+    be duplicate-free. Empty [ids] yields [] (broadcasts reach nobody
+    in an empty set). *)
+
+val to_list : t -> Envelope.t list
+(** The full routed queue in enqueue order (every direct mailbox plus
+    the broadcast buffer, merged); the flat list the seed engine would
+    have carried. Test and debugging aid. *)
+
+val length : t -> int
+(** Routed envelope count (broadcasts counted once). *)

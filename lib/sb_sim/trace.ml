@@ -24,6 +24,17 @@ let broadcast_count trace =
 
 let total_transmissions trace = p2p_message_count trace + broadcast_count trace
 
+let wire_bytes trace =
+  let add acc envs =
+    List.fold_left
+      (fun (b, p) e ->
+        if Envelope.is_func_bound e then (b, p)
+        else if Envelope.is_broadcast e then (b + Envelope.wire_size e, p)
+        else (b, p + Envelope.wire_size e))
+      acc envs
+  in
+  List.fold_left (fun acc r -> add (add acc r.honest_sent) r.adv_sent) (0, 0) trace
+
 let messages_from trace src =
   let count_from =
     List.fold_left (fun acc e -> if Envelope.src_party e = Some src then acc + 1 else acc)

@@ -26,6 +26,12 @@ val total_transmissions : t -> int
     experiment E8 (one broadcast = one channel use, as in the model
     the protocols are written for). *)
 
+val wire_bytes : t -> int * int
+(** [(broadcast, p2p)] wire bytes of party-sourced traffic
+    ({!Envelope.wire_size} summed; functionality channel excluded,
+    broadcasts counted once) — the deterministic trace-side view of the
+    network's [sim.bytes.*] counters, used by experiment E16. *)
+
 val messages_from : t -> int -> int
 
 val per_round_counts : t -> (int * int * int) list

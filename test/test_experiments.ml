@@ -105,6 +105,9 @@ let () =
             (check_outcome "E14" (fun () -> Core.Experiments.e14_figure1 setup));
           Alcotest.test_case "E15 fault resilience" `Slow
             (check_outcome "E15" (fun () -> Core.Experiments.e15_fault_resilience setup));
+          Alcotest.test_case "E16 wire complexity" `Quick
+            (check_outcome "E16" (fun () ->
+                 Core.Experiments.e16_wire_complexity ~ns:[ 4; 16 ] ()));
         ] );
       ("e8-details", [ Alcotest.test_case "message growth" `Quick test_e8_monotone_details ]);
       ( "robustness",

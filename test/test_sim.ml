@@ -67,6 +67,104 @@ let qcheck_msg_equal_refl =
     (QCheck.make gen_msg) (fun m ->
       Msg.equal m m && String.equal (Msg.serialize m) (Msg.serialize m))
 
+(* A generator that reaches every constructor, including the crypto
+   ones (Fe in [0, p); Ge as powers of the generator, so membership
+   holds by construction). *)
+let gen_msg_full =
+  QCheck.Gen.(
+    sized @@ fix (fun self size ->
+        if size <= 1 then
+          oneof
+            [
+              return Msg.Unit;
+              map (fun b -> Msg.Bit b) bool;
+              map (fun i -> Msg.Int i) small_signed_int;
+              map (fun s -> Msg.Str s) small_string;
+              map (fun i -> Msg.Fe (Sb_crypto.Field.of_int i)) (0 -- (Sb_crypto.Field.p - 1));
+              map (fun k -> Msg.Ge (Sb_crypto.Modgroup.pow_int Sb_crypto.Modgroup.g k))
+                (0 -- 200);
+            ]
+        else
+          oneof
+            [
+              map (fun l -> Msg.List l) (list_size (0 -- 3) (self (size / 2)));
+              map2 (fun t m -> Msg.Tag (t, m)) small_string (self (size / 2));
+            ]))
+
+let test_msg_compare_pinned_order () =
+  (* The constructor rank is part of the interface: mixed-constructor
+     comparisons order by Unit < Bit < Int < Fe < Ge < Str < List < Tag. *)
+  let ladder =
+    [
+      Msg.Unit;
+      Msg.Bit false;
+      Msg.Bit true;
+      Msg.Int (-3);
+      Msg.Int 7;
+      Msg.Fe (Sb_crypto.Field.of_int 2);
+      Msg.Ge Sb_crypto.Modgroup.g;
+      Msg.Str "a";
+      Msg.Str "b";
+      Msg.List [];
+      Msg.List [ Msg.Unit ];
+      Msg.Tag ("a", Msg.Unit);
+      Msg.Tag ("a", Msg.Bit true);
+      Msg.Tag ("b", Msg.Unit);
+    ]
+  in
+  let rec strictly_ascending = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool)
+          (Msg.to_string a ^ " < " ^ Msg.to_string b)
+          true
+          (Msg.compare a b < 0 && Msg.compare b a > 0);
+        strictly_ascending rest
+    | _ -> ()
+  in
+  strictly_ascending ladder;
+  (* Structural, not physical: equal values compare 0 regardless of
+     sharing (Stdlib.compare gave this too, but pin it explicitly). *)
+  Alcotest.(check int) "equal lists" 0
+    (Msg.compare (Msg.List [ Msg.Str "xy" ]) (Msg.List [ Msg.Str ("x" ^ "y") ]))
+
+let qcheck_msg_compare_total_order =
+  QCheck.Test.make ~name:"msg compare: antisymmetric and consistent with equal" ~count:500
+    QCheck.(make Gen.(pair gen_msg_full gen_msg_full))
+    (fun (a, b) ->
+      let c = Msg.compare a b in
+      c = -Msg.compare b a && (c = 0) = Msg.equal a b)
+
+let qcheck_msg_deserialize_roundtrip =
+  QCheck.Test.make ~name:"msg deserialize inverts serialize" ~count:500
+    (QCheck.make gen_msg_full) (fun m ->
+      match Msg.deserialize (Msg.serialize m) with
+      | Some m' -> Msg.equal m m'
+      | None -> false)
+
+let test_msg_deserialize_rejects () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ String.escaped s) true
+        (Msg.deserialize s = None))
+    [
+      "";
+      "z";
+      "u trailing";
+      "b2";
+      "i2:+1" (* non-canonical int *);
+      "i02:12" (* non-canonical frame length *);
+      Printf.sprintf "f%d:%d" (String.length (string_of_int Sb_crypto.Field.p))
+        Sb_crypto.Field.p (* out of field range *);
+      "l2:u" (* list elements must be 'e'-framed *);
+      "t1:x" (* truncated tag *);
+      Msg.serialize (Msg.Str "x") ^ "u" (* trailing bytes *);
+    ]
+
+let qcheck_msg_size_bytes =
+  QCheck.Test.make ~name:"msg size_bytes = |serialize|" ~count:500
+    (QCheck.make gen_msg_full) (fun m ->
+      Msg.size_bytes m = String.length (Msg.serialize m))
+
 (* --- Envelope ----------------------------------------------------- *)
 
 let test_envelope_addressing () =
@@ -79,6 +177,20 @@ let test_envelope_addressing () =
   Alcotest.(check int) "to_all count" 4 (List.length (Envelope.to_all ~n:4 ~src:0 Msg.Unit));
   Alcotest.(check int) "to_others count" 3
     (List.length (Envelope.to_others ~n:4 ~src:0 Msg.Unit))
+
+let test_envelope_wire_size () =
+  (* Header: "P<id>" per party endpoint, one char for F/All; body:
+     Msg.size_bytes. *)
+  let body = Msg.Str "hey" in
+  let body_b = String.length (Msg.serialize body) in
+  Alcotest.(check int) "p2p" (2 + 2 + body_b)
+    (Envelope.wire_size (Envelope.make ~src:3 ~dst:7 body));
+  Alcotest.(check int) "two-digit id" (3 + 2 + body_b)
+    (Envelope.wire_size (Envelope.make ~src:12 ~dst:0 body));
+  Alcotest.(check int) "broadcast counted once" (2 + 1 + body_b)
+    (Envelope.wire_size (Envelope.broadcast ~src:4 body));
+  Alcotest.(check int) "func" (2 + 1 + body_b)
+    (Envelope.wire_size (Envelope.to_func ~src:9 body))
 
 (* --- Network: basic delivery ------------------------------------- *)
 
@@ -369,8 +481,18 @@ let () =
           Alcotest.test_case "serialize injective samples" `Quick
             test_msg_serialize_injective_samples;
           QCheck_alcotest.to_alcotest qcheck_msg_equal_refl;
+          Alcotest.test_case "compare pinned order" `Quick test_msg_compare_pinned_order;
+          Alcotest.test_case "deserialize rejects malformed" `Quick
+            test_msg_deserialize_rejects;
+          QCheck_alcotest.to_alcotest qcheck_msg_compare_total_order;
+          QCheck_alcotest.to_alcotest qcheck_msg_deserialize_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_msg_size_bytes;
         ] );
-      ("envelope", [ Alcotest.test_case "addressing" `Quick test_envelope_addressing ]);
+      ( "envelope",
+        [
+          Alcotest.test_case "addressing" `Quick test_envelope_addressing;
+          Alcotest.test_case "wire size" `Quick test_envelope_wire_size;
+        ] );
       ( "network",
         [
           Alcotest.test_case "delivers next round" `Quick test_network_delivers_next_round;
