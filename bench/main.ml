@@ -3,7 +3,9 @@
    times the protocol substrates with Bechamel (E9). Every invocation
    also times one fixed 20k-sample G-tester run ("gtester-smoke/20k" in
    the timings block — the scalar CI guards against regression) and
-   ends by writing a machine-readable BENCH_<tag>.json run report
+   Every invocation also runs the crypto hot-path probe (crypto.ml:
+   "crypto/..." timing entries, one-line summary, crypto.csv under
+   --csv) and ends by writing a machine-readable BENCH_<tag>.json run report
    (schema in EXPERIMENTS.md) — the perf trajectory artifact, which
    since schema v2 carries the comm block (message/byte totals).
 
@@ -235,7 +237,10 @@ let () =
   let timings =
     if (not tables_only) && (ids = [] || timing_only) then run_timing () else []
   in
-  let timings = timings @ [ run_gtester_smoke () ] in
+  let crypto_timings = Crypto.run () in
+  Crypto.print_summary crypto_timings;
+  (match !csv_dir with Some dir -> Crypto.write_csv dir crypto_timings | None -> ());
+  let timings = timings @ [ run_gtester_smoke () ] @ crypto_timings in
   print_comm ();
   let tag =
     if quick then "quick"

@@ -1,5 +1,7 @@
 type commitment = Modgroup.elt array
 
+(* Coefficient commitments are fixed-base g-exponentiations, so they
+   ride the Modgroup window table via commit_g. *)
 let commit f ~threshold =
   let coeffs = Poly.coeffs f in
   assert (Array.length coeffs <= threshold + 1);

@@ -1,0 +1,58 @@
+(* Cached Lagrange basis coefficients.
+
+   The reconstruction hot path (Shamir / Pedersen / BGW degree
+   reduction) evaluates the interpolating polynomial of a point set at
+   a fixed x0, thousands of times per experiment, and the abscissa set
+   is almost always the same handful of party indices. The basis
+   coefficients
+
+     l_j = prod_{m <> j} (x0 - x_m) / (x_j - x_m)
+
+   depend only on (x0, abscissae), so we compute them once per point
+   set and replay them for every sample. The cache is domain-local
+   (Domain.DLS): each sb_par worker fills its own table, so there is
+   no locking and no cross-domain interference; coefficients are exact
+   field elements, so every domain computes identical values and
+   results remain byte-identical at every --jobs. *)
+
+let check_distinct xs =
+  let sorted = Array.map Field.to_int xs in
+  Array.sort Int.compare sorted;
+  for i = 1 to Array.length sorted - 1 do
+    if sorted.(i - 1) = sorted.(i) then invalid_arg "Poly.interpolate: duplicate abscissae"
+  done
+
+let compute xs at =
+  check_distinct xs;
+  let n = Array.length xs in
+  Array.init n (fun j ->
+      let xj = xs.(j) in
+      let lj = ref Field.one in
+      for m = 0 to n - 1 do
+        if m <> j then
+          lj := Field.mul !lj (Field.div (Field.sub at xs.(m)) (Field.sub xj xs.(m)))
+      done;
+      !lj)
+
+let cache : (int list, Field.t array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let coeffs ~xs ~at =
+  let key = Field.to_int at :: Array.fold_right (fun x k -> Field.to_int x :: k) xs [] in
+  let tbl = Domain.DLS.get cache in
+  match Hashtbl.find_opt tbl key with
+  | Some c -> c
+  | None ->
+      let c = compute xs at in
+      Hashtbl.replace tbl key c;
+      c
+
+let interpolate_at pts x0 =
+  let xs = Array.of_list (List.map fst pts) in
+  let c = coeffs ~xs ~at:x0 in
+  let acc = ref Field.zero in
+  List.iteri (fun j (_, yj) -> acc := Field.add !acc (Field.mul yj c.(j))) pts;
+  !acc
+
+let at_zero n =
+  coeffs ~xs:(Array.init n (fun i -> Field.of_int (i + 1))) ~at:Field.zero

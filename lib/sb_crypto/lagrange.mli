@@ -1,0 +1,25 @@
+(** Cached Lagrange basis coefficients for reconstruction hot paths.
+
+    [interpolate_at] is a drop-in equivalent of {!Poly.interpolate_at}
+    (same values — field arithmetic is exact — and the same
+    [Invalid_argument] on duplicate abscissae), but the O(n²) basis
+    computation is paid once per distinct (x0, abscissa-set) and
+    cached. Caches are domain-local, so the module is safe and
+    lock-free under sb_par domain parallelism, and deterministic at
+    every [--jobs] value. *)
+
+val coeffs : xs:Field.t array -> at:Field.t -> Field.t array
+(** [coeffs ~xs ~at] returns the basis vector [l] with
+    [l.(j) = prod_{m<>j} (at - xs.(m)) / (xs.(j) - xs.(m))], so the
+    interpolating polynomial through [(xs.(j), y_j)] evaluates at [at]
+    to [sum_j y_j · l.(j)]. Cached; raises [Invalid_argument] on
+    duplicate abscissae. The returned array is shared — do not
+    mutate. *)
+
+val interpolate_at : (Field.t * Field.t) list -> Field.t -> Field.t
+(** Cached equivalent of {!Poly.interpolate_at}. *)
+
+val at_zero : int -> Field.t array
+(** [at_zero n]: coefficients at 0 for the abscissae 1..n — the public
+    recombination vector of Shamir reconstruction and BGW degree
+    reduction over the full party set. *)

@@ -18,7 +18,81 @@ let pow_int h e =
 
 let pow h e = pow_int h (Field.to_int e)
 let g = 4
-let inv h = pow_int h (order - 1) (* h^(q-1) = h^-1 in an order-q group *)
+
+(* 9 = 3^2 is a quadratic residue mod the safe prime, hence a member of
+   the order-q subgroup and (the subgroup having prime order) a
+   generator of it. Its discrete log w.r.t. g is unknown; it plays the
+   CRS second-generator role in Pedersen commitments. *)
+let h = 9
+
+(* --- Fixed-base windowed tables ------------------------------------ *)
+
+(* Exponents are field elements, i.e. < q < 2^30: [window_count] 4-bit
+   windows cover them. table.(i).(d) = base^(d * 16^i), so
+   base^e = prod_i table.(i).(e_i) over the base-16 digits e_i of e —
+   no squarings at all for the two shared generators. The tables are
+   built once at module initialisation (main domain, before any
+   sb_par worker exists) and are read-only afterwards, so concurrent
+   reads under domain parallelism are safe. *)
+let window_bits = 4
+let window_count = 8
+let window_mask = (1 lsl window_bits) - 1
+let () = assert (window_bits * window_count >= 30)
+
+let fixed_base_table base =
+  let t = Array.make_matrix window_count (window_mask + 1) one in
+  let b = ref base in
+  for i = 0 to window_count - 1 do
+    for d = 1 to window_mask do
+      t.(i).(d) <- mul t.(i).(d - 1) !b
+    done;
+    (* base^(16^(i+1)) = base^(15 * 16^i) * base^(16^i). *)
+    b := mul t.(i).(window_mask) !b
+  done;
+  t
+
+let table_g = fixed_base_table g
+let table_h = fixed_base_table h
+
+let pow_fixed table e =
+  assert (e >= 0 && e lsr (window_bits * window_count) = 0);
+  let acc = ref one in
+  let e = ref e in
+  for i = 0 to window_count - 1 do
+    let d = !e land window_mask in
+    if d <> 0 then acc := mul !acc table.(i).(d);
+    e := !e lsr window_bits
+  done;
+  !acc
+
+let pow_g e = pow_fixed table_g (Field.to_int e)
+let pow_h e = pow_fixed table_h (Field.to_int e)
+
+let pow_gh a b =
+  (* Fused double exponentiation g^a * h^b: one interleaved pass over
+     both precomputed tables — the fixed-base version of Shamir's
+     trick, sharing the single accumulator between both bases. *)
+  let acc = ref one in
+  let a = ref (Field.to_int a) and b = ref (Field.to_int b) in
+  for i = 0 to window_count - 1 do
+    let da = !a land window_mask and db = !b land window_mask in
+    if da <> 0 then acc := mul !acc table_g.(i).(da);
+    if db <> 0 then acc := mul !acc table_h.(i).(db);
+    a := !a lsr window_bits;
+    b := !b lsr window_bits
+  done;
+  !acc
+
+(* Extended Euclid modulo the (prime) modulus: every member is a unit
+   of Z_P^*, and for h in the order-q subgroup the Z_P^* inverse
+   coincides with h^(q-1), the subgroup inverse. Replaces the old
+   ~45-multiplication pow round-trip. *)
+let inv h =
+  assert (h <> 0);
+  let rec go r0 r1 s0 s1 = if r1 = 0 then s0 else go r1 (r0 mod r1) s1 (s0 - (r0 / r1 * s1)) in
+  let s = go modulus h 0 1 mod modulus in
+  if s < 0 then s + modulus else s
+
 let equal = Int.equal
 
 let is_member x =
@@ -27,5 +101,5 @@ let is_member x =
 
 let of_int_exn x = if is_member x then x else invalid_arg "Modgroup.of_int_exn: not a member"
 let to_int x = x
-let commit_g e = pow g e
+let commit_g e = pow_g e
 let pp fmt x = Format.pp_print_int fmt x

@@ -1,12 +1,11 @@
 type share = { index : int; value : Field.t; blind : Field.t }
 type commitment = Modgroup.elt array
 
-(* 9 = 3^2 is a quadratic residue mod the safe prime, hence a member of
-   the order-q subgroup and (the subgroup having prime order) a
-   generator of it. *)
-let h = Modgroup.of_int_exn 9
+let h = Modgroup.h
 
-let commit_pair a b = Modgroup.mul (Modgroup.commit_g a) (Modgroup.pow h b)
+(* Fused fixed-base double exponentiation g^a * h^b — one table pass
+   instead of two full square-and-multiply ladders and a multiply. *)
+let commit_pair a b = Modgroup.pow_gh a b
 
 type dealt = { shares : share array; commitment : commitment; blind0 : Field.t }
 
@@ -39,11 +38,11 @@ let verify_opening c ~secret ~blind =
   Array.length c > 0 && Modgroup.equal (commit_pair secret blind) c.(0)
 
 let reconstruct shares =
-  Poly.interpolate_at
+  Lagrange.interpolate_at
     (List.map (fun s -> (Shamir.eval_point s.index, s.value)) shares)
     Field.zero
 
 let reconstruct_blind shares =
-  Poly.interpolate_at
+  Lagrange.interpolate_at
     (List.map (fun s -> (Shamir.eval_point s.index, s.blind)) shares)
     Field.zero

@@ -18,8 +18,10 @@ type share = { index : int; value : Field.t; blind : Field.t }
 type commitment = Modgroup.elt array
 
 val h : Modgroup.elt
-(** The second generator (a fixed quadratic residue; its dlog w.r.t. g
-    plays the role of the CRS trapdoor nobody holds). *)
+(** The second generator ({!Modgroup.h}, a fixed quadratic residue;
+    its dlog w.r.t. g plays the role of the CRS trapdoor nobody
+    holds). Commitments are computed with the fused fixed-base
+    {!Modgroup.pow_gh}. *)
 
 type dealt = {
   shares : share array;
@@ -36,9 +38,9 @@ val verify_opening : commitment -> secret:Field.t -> blind:Field.t -> bool
 (** Check a direct opening of the constant term. *)
 
 val reconstruct : share list -> Field.t
-(** Lagrange interpolation of the value components at 0; callers must
-    supply at least threshold+1 shares that verified against the same
-    commitment. *)
+(** Lagrange interpolation of the value components at 0, via the
+    {!Lagrange} coefficient cache; callers must supply at least
+    threshold+1 shares that verified against the same commitment. *)
 
 val reconstruct_blind : share list -> Field.t
 (** Same, for the blinding components: recovers f'(0). *)

@@ -21,6 +21,22 @@ let eval p x =
   done;
   !acc
 
+let eval_many p n =
+  (* Evaluations at x = 1..n in one pass over the coefficients: each
+     step folds coefficient p.(j) into every accumulator, so acc.(i)
+     performs exactly the Horner recurrence of [eval p (i+1)] and the
+     results are bit-identical to the per-point loop, with one array
+     traversal per coefficient instead of per point. *)
+  let acc = Array.make n Field.zero in
+  let xs = Array.init n (fun i -> Field.of_int (i + 1)) in
+  for j = Array.length p - 1 downto 0 do
+    let pj = p.(j) in
+    for i = 0 to n - 1 do
+      acc.(i) <- Field.add (Field.mul acc.(i) xs.(i)) pj
+    done
+  done;
+  acc
+
 let random rng ~degree ~constant =
   assert (degree >= 0);
   let a = Array.init (degree + 1) (fun i -> if i = 0 then constant else Field.random rng) in

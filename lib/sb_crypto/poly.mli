@@ -19,6 +19,11 @@ val constant : Field.t -> t
 val eval : t -> Field.t -> Field.t
 (** Horner evaluation. *)
 
+val eval_many : t -> int -> Field.t array
+(** [eval_many p n] evaluates [p] at 1, 2, …, n — the share points of
+    an n-party dealing — in a single pass over the coefficients.
+    Equals [Array.init n (fun i -> eval p (of_int (i + 1)))]. *)
+
 val random : Sb_util.Rng.t -> degree:int -> constant:Field.t -> t
 (** Uniform polynomial of degree at most [degree] with the prescribed
     constant term — exactly the dealer polynomial of Shamir sharing. *)

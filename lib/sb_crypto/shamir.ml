@@ -9,9 +9,10 @@ let share rng ~threshold ~parties ~secret =
     if threshold = 0 then Poly.constant secret
     else Poly.random rng ~degree:threshold ~constant:secret
   in
-  let shares = Array.init parties (fun i -> { index = i; value = Poly.eval f (eval_point i) }) in
+  let values = Poly.eval_many f parties in
+  let shares = Array.init parties (fun i -> { index = i; value = values.(i) }) in
   (shares, f)
 
 let points shares = List.map (fun s -> (eval_point s.index, s.value)) shares
-let reconstruct shares = Poly.interpolate_at (points shares) Field.zero
+let reconstruct shares = Lagrange.interpolate_at (points shares) Field.zero
 let reconstruct_poly shares = Poly.interpolate (points shares)

@@ -17,9 +17,11 @@ val share :
     commitments). Requires 0 <= t < n and n < {!Field.p}. *)
 
 val reconstruct : share list -> Field.t
-(** Lagrange reconstruction at 0. Requires at least [threshold + 1]
-    shares from the original sharing (not checked here — verifiability
-    is {!Feldman}'s job); duplicate indices are rejected. *)
+(** Lagrange reconstruction at 0, via the {!Lagrange} coefficient
+    cache (the basis vector is computed once per distinct index set).
+    Requires at least [threshold + 1] shares from the original sharing
+    (not checked here — verifiability is {!Feldman}'s job); duplicate
+    indices are rejected. *)
 
 val reconstruct_poly : share list -> Poly.t
 (** Full polynomial through the given shares (for consistency checks in

@@ -5,19 +5,10 @@ let rounds circuit = 2 + Circuit.layers circuit
 
 (* Lagrange coefficients at 0 for the point set {1, …, n}: the public
    recombination vector of GRR degree reduction (valid for any shared
-   polynomial of degree < n, in particular the degree-2t products). *)
-let lambdas n =
-  Array.init n (fun i ->
-      let xi = Shamir.eval_point i in
-      let num = ref Field.one and den = ref Field.one in
-      for j = 0 to n - 1 do
-        if j <> i then begin
-          let xj = Shamir.eval_point j in
-          num := Field.mul !num xj;
-          den := Field.mul !den (Field.sub xj xi)
-        end
-      done;
-      Field.div !num !den)
+   polynomial of degree < n, in particular the degree-2t products).
+   Served by the shared coefficient cache — one O(n²) computation per
+   domain instead of one per party per run. *)
+let lambdas n = Lagrange.at_zero n
 
 let encode_pairs tag pairs =
   Msg.Tag (tag, Msg.List (List.map (fun (w, v) -> Msg.List [ Msg.Int w; Msg.Fe v ]) pairs))
@@ -35,14 +26,26 @@ let decode_pairs tag inbox =
 
 let protocol ~name ~circuit ~encode ~decode =
   let total_rounds = rounds circuit in
+  (* The circuit is immutable once the protocol is built, so every
+     derived view is computed here rather than per party step: the
+     gates array ([Circuit.gates] reverses a list per call), the mult
+     depth, the per-wire reshare layer, the output wires, and the
+     per-layer wire tags (identical strings to the old per-envelope
+     sprintf, so wire bytes are unchanged). The samplers run one
+     [make_party] per party per Monte-Carlo run; these views used to
+     be recomputed twice per step. *)
+  let n_layers = Circuit.layers circuit in
+  let gates = Circuit.gates circuit in
+  let nwires = Array.length gates in
+  let output_wires = Circuit.outputs circuit in
+  let mul_layer_of = Array.init nwires (fun w -> Circuit.mul_layer circuit w) in
+  let mul_tag = Array.init (max 1 n_layers) (fun l -> "bgw:mul:" ^ string_of_int l) in
   let make_party (ctx : Ctx.t) ~rng ~id ~input =
     assert (Circuit.n_parties circuit = ctx.Ctx.n);
     assert (2 * ctx.Ctx.thresh < ctx.Ctx.n);
     let n = ctx.Ctx.n in
     let t = ctx.Ctx.thresh in
     let lam = lambdas n in
-    let gates = Circuit.gates circuit in
-    let nwires = Array.length gates in
     (* My circuit inputs, in declaration order. *)
     let my_inputs = encode ~rng ~id input in
     if List.length my_inputs <> Circuit.input_count circuit ~party:id then
@@ -97,7 +100,7 @@ let protocol ~name ~circuit ~encode ~decode =
       Array.iteri
         (fun w g ->
           match g with
-          | Circuit.Mul (a, b) when Circuit.mul_layer circuit w = layer -> (
+          | Circuit.Mul (a, b) when mul_layer_of.(w) = layer -> (
               match (values.((a :> int)), values.((b :> int))) with
               | Some x, Some y ->
                   let d = Field.mul x y in
@@ -113,10 +116,7 @@ let protocol ~name ~circuit ~encode ~decode =
         (List.init n (fun j ->
              if payload_for.(j) = [] then []
              else
-               [
-                 Envelope.make ~src:id ~dst:j
-                   (encode_pairs (Printf.sprintf "bgw:mul:%d" layer) payload_for.(j));
-               ]))
+               [ Envelope.make ~src:id ~dst:j (encode_pairs mul_tag.(layer) payload_for.(j)) ]))
     in
     let step ~round ~inbox =
       (* 1. Absorb whatever arrived. *)
@@ -124,13 +124,13 @@ let protocol ~name ~circuit ~encode ~decode =
         List.iter
           (fun (_, w, v) -> if w < nwires then input_share.(w) <- Some v)
           (decode_pairs "bgw:in" inbox);
-      if round >= 2 && round <= Circuit.layers circuit + 1 then begin
+      if round >= 2 && round <= n_layers + 1 then begin
         let layer = round - 2 in
         List.iter
           (fun (src, w, v) ->
             let b = bucket pending w in
             if not (List.mem_assoc src !b) then b := (src, v) :: !b)
-          (decode_pairs (Printf.sprintf "bgw:mul:%d" layer) inbox);
+          (decode_pairs mul_tag.(layer) inbox);
         (* Resolve this layer's mult wires: c = Σ λ_i · subshare_i. *)
         Hashtbl.iter
           (fun w b ->
@@ -157,7 +157,7 @@ let protocol ~name ~circuit ~encode ~decode =
                 List.map (fun (src, v) -> { Shamir.index = src; value = v }) !b
               in
               if List.length points >= t + 1 then Shamir.reconstruct points else Field.zero)
-            (Circuit.outputs circuit)
+            output_wires
         in
         result := decode outs
       end;
@@ -183,8 +183,7 @@ let protocol ~name ~circuit ~encode ~decode =
                if payload_for.(j) = [] then []
                else [ Envelope.make ~src:id ~dst:j (encode_pairs "bgw:in" payload_for.(j)) ]))
       end
-      else if round >= 1 && round <= Circuit.layers circuit then
-        reshare_layer (round - 1) (evaluate ())
+      else if round >= 1 && round <= n_layers then reshare_layer (round - 1) (evaluate ())
       else if round = total_rounds - 1 then begin
         (* Broadcast my output shares. *)
         let values = evaluate () in
@@ -194,7 +193,7 @@ let protocol ~name ~circuit ~encode ~decode =
               match values.(Circuit.wire_index w) with
               | Some v -> Some (Circuit.wire_index w, v)
               | None -> None)
-            (Circuit.outputs circuit)
+            output_wires
         in
         if pairs = [] then [] else [ Envelope.broadcast ~src:id (encode_pairs "bgw:out" pairs) ]
       end

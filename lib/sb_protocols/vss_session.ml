@@ -18,12 +18,33 @@ type t = {
   (* Receiver side *)
   mutable commitment : Pedersen.commitment option;
   mutable my_share : Pedersen.share option;
+  (* Cached verdict of [Pedersen.verify_share commitment my_share];
+     cleared whenever either input changes, so the complain-round check
+     is reused by [reveal_msgs] instead of re-running the commitment
+     evaluation. *)
+  mutable my_share_ok : bool option;
   mutable complainers : int list;
   mutable disqualified : bool;
   mutable reveals : (int, Pedersen.share) Hashtbl.t;
 }
 
 let tagname dealer suffix = Printf.sprintf "vss:%d:%s" dealer suffix
+
+(* The five per-session wire tags are pure functions of the dealer
+   index, and the samplers create n sessions per party per Monte-Carlo
+   run — so they are served from a table built once at module init
+   (before any worker domain spawns; the formatted strings are
+   identical to the sprintf fallback, so wire bytes don't change). *)
+let max_cached_dealer = 128
+
+let tags dealer =
+  ( tagname dealer "comm",
+    tagname dealer "share",
+    tagname dealer "complain",
+    tagname dealer "resp",
+    tagname dealer "reveal" )
+
+let tag_table = Array.init max_cached_dealer tags
 
 let create ctx ~rng ~dealer ~me ~secret =
   assert ((me = dealer) = Option.is_some secret);
@@ -33,19 +54,23 @@ let create ctx ~rng ~dealer ~me ~secret =
         Pedersen.deal rng ~threshold:ctx.Ctx.thresh ~parties:ctx.Ctx.n ~secret)
       secret
   in
+  let tag_comm, tag_share, tag_complain, tag_resp, tag_reveal =
+    if dealer < max_cached_dealer then tag_table.(dealer) else tags dealer
+  in
   {
     ctx;
     dealer;
     me;
-    tag_comm = tagname dealer "comm";
-    tag_share = tagname dealer "share";
-    tag_complain = tagname dealer "complain";
-    tag_resp = tagname dealer "resp";
-    tag_reveal = tagname dealer "reveal";
+    tag_comm;
+    tag_share;
+    tag_complain;
+    tag_resp;
+    tag_reveal;
     dealt;
     secret_in = secret;
     commitment = None;
     my_share = None;
+    my_share_ok = None;
     complainers = [];
     disqualified = false;
     reveals = Hashtbl.create 8;
@@ -64,10 +89,25 @@ let decode_share_pair index = function
 
 let encode_share (s : Pedersen.share) = Msg.List [ Msg.Fe s.Pedersen.value; Msg.Fe s.Pedersen.blind ]
 
+let set_commitment t c =
+  t.commitment <- c;
+  t.my_share_ok <- None
+
+let set_my_share t s =
+  t.my_share <- s;
+  t.my_share_ok <- None
+
 let my_share_valid t =
-  match (t.commitment, t.my_share) with
-  | Some c, Some s -> Pedersen.verify_share c s
-  | _ -> false
+  match t.my_share_ok with
+  | Some ok -> ok
+  | None ->
+      let ok =
+        match (t.commitment, t.my_share) with
+        | Some c, Some s -> Pedersen.verify_share c s
+        | _ -> false
+      in
+      t.my_share_ok <- Some ok;
+      ok
 
 let step t ~round ~inbox =
   match round with
@@ -76,8 +116,8 @@ let step t ~round ~inbox =
       match t.dealt with
       | None -> []
       | Some d ->
-          t.commitment <- Some d.Pedersen.commitment;
-          t.my_share <- Some d.Pedersen.shares.(t.me);
+          set_commitment t (Some d.Pedersen.commitment);
+          set_my_share t (Some d.Pedersen.shares.(t.me));
           Envelope.broadcast ~src:t.me
             (Msg.Tag
                ( t.tag_comm,
@@ -95,10 +135,10 @@ let step t ~round ~inbox =
       (* Receive commitment and share; complain if anything is off. *)
       if t.me <> t.dealer then begin
         (match Wire.first_from ~tag:t.tag_comm ~src:t.dealer inbox with
-        | Some m -> t.commitment <- decode_commitment t.ctx m
+        | Some m -> set_commitment t (decode_commitment t.ctx m)
         | None -> ());
         match Wire.first_from ~tag:t.tag_share ~src:t.dealer inbox with
-        | Some m -> t.my_share <- decode_share_pair t.me m
+        | Some m -> set_my_share t (decode_share_pair t.me m)
         | None -> ()
       end;
       let unhappy = not (my_share_valid t) in
@@ -143,7 +183,7 @@ let step t ~round ~inbox =
           if not (List.for_all answered t.complainers) then t.disqualified <- true
           else if List.mem t.me t.complainers then
             (* Adopt the (valid) public response as my share. *)
-            t.my_share <- List.assoc_opt t.me responses);
+            set_my_share t (List.assoc_opt t.me responses));
       []
   | _ -> []
 

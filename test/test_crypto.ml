@@ -151,6 +151,77 @@ let qcheck_poly_mul_eval =
       let pa = Poly.of_coeffs (Array.of_list ca) and pb = Poly.of_coeffs (Array.of_list cb) in
       Field.equal (Poly.eval (Poly.mul pa pb) x) (Field.mul (Poly.eval pa x) (Poly.eval pb x)))
 
+(* --- Lagrange cache / eval_many ----------------------------------- *)
+
+(* Distinct abscissae: dedup a small int list, keep it non-empty. *)
+let arbitrary_points =
+  QCheck.map
+    (fun (xs, ys, y0) ->
+      let xs = List.sort_uniq Int.compare xs in
+      let ys = y0 :: ys in
+      List.mapi (fun i x -> (Field.of_int (x + 1), List.nth ys (i mod List.length ys))) xs)
+    QCheck.(
+      triple (list_of_size Gen.(0 -- 6) (int_range 0 40)) (list_of_size Gen.(0 -- 6) arbitrary_fe)
+        arbitrary_fe)
+
+let qcheck_lagrange_cached_eq_uncached =
+  QCheck.Test.make ~name:"cached interpolate_at = uncached" ~count:300
+    QCheck.(pair arbitrary_points arbitrary_fe)
+    (fun (pts, x0) ->
+      Field.equal (Lagrange.interpolate_at pts x0) (Poly.interpolate_at pts x0)
+      && Field.equal (Lagrange.interpolate_at pts Field.zero)
+           (Poly.interpolate_at pts Field.zero))
+
+let test_lagrange_single_point () =
+  (* Degree-0 interpolation: one point determines the constant. *)
+  let pts = [ (Field.of_int 3, Field.of_int 17) ] in
+  Alcotest.check fe "single point at 0" (Field.of_int 17) (Lagrange.interpolate_at pts Field.zero);
+  Alcotest.check fe "single point elsewhere" (Field.of_int 17)
+    (Lagrange.interpolate_at pts (Field.of_int 9))
+
+let test_lagrange_rejects_duplicates () =
+  let pts = [ (Field.one, Field.one); (Field.one, Field.zero) ] in
+  Alcotest.check_raises "duplicate x" (Invalid_argument "Poly.interpolate: duplicate abscissae")
+    (fun () -> ignore (Lagrange.interpolate_at pts Field.zero))
+
+let test_lagrange_at_zero_matches_direct () =
+  (* The BGW recombination vector: at_zero n against the classical
+     num/den product formula. *)
+  List.iter
+    (fun n ->
+      let lam = Lagrange.at_zero n in
+      Array.iteri
+        (fun i li ->
+          let xi = Field.of_int (i + 1) in
+          let num = ref Field.one and den = ref Field.one in
+          for j = 0 to n - 1 do
+            if j <> i then begin
+              let xj = Field.of_int (j + 1) in
+              num := Field.mul !num xj;
+              den := Field.mul !den (Field.sub xj xi)
+            end
+          done;
+          Alcotest.check fe (Printf.sprintf "lambda_%d (n=%d)" i n) (Field.div !num !den) li)
+        lam)
+    [ 1; 2; 5; 16 ]
+
+let qcheck_eval_many_eq_horner =
+  QCheck.Test.make ~name:"eval_many = per-point Horner" ~count:300
+    QCheck.(pair (list_of_size Gen.(0 -- 6) arbitrary_fe) (int_range 1 12))
+    (fun (coeffs, n) ->
+      let p = Poly.of_coeffs (Array.of_list coeffs) in
+      let many = Poly.eval_many p n in
+      Array.length many = n
+      && Array.for_all2 Field.equal many
+           (Array.init n (fun i -> Poly.eval p (Field.of_int (i + 1)))))
+
+let test_eval_many_degenerate () =
+  (* Constant (threshold = 0) and zero polynomials. *)
+  let c = Poly.constant (Field.of_int 5) in
+  Array.iter (fun v -> Alcotest.check fe "constant" (Field.of_int 5) v) (Poly.eval_many c 7);
+  Array.iter (fun v -> Alcotest.check fe "zero poly" Field.zero v) (Poly.eval_many Poly.zero 4);
+  Alcotest.(check int) "n=1" 1 (Array.length (Poly.eval_many c 1))
+
 (* --- Shamir ------------------------------------------------------- *)
 
 let test_shamir_reconstruct () =
@@ -203,6 +274,42 @@ let test_modgroup_inv () =
   let h = Modgroup.pow_int Modgroup.g 12345 in
   Alcotest.(check bool) "h * h^-1 = 1" true
     (Modgroup.equal Modgroup.one (Modgroup.mul h (Modgroup.inv h)))
+
+let arbitrary_member =
+  (* Random subgroup members as g^r: every member is a power of g. *)
+  QCheck.map (fun r -> Modgroup.pow_int Modgroup.g r) QCheck.(int_range 1 (Modgroup.order - 1))
+
+let qcheck_modgroup_inv_matches_pow =
+  (* The extended-Euclid inverse against the old h^(q-1) definition. *)
+  QCheck.Test.make ~name:"euclid inv = pow (order-1)" ~count:300 arbitrary_member (fun h ->
+      Modgroup.equal (Modgroup.inv h) (Modgroup.pow_int h (Modgroup.order - 1)))
+
+let qcheck_modgroup_pow_g_windowed =
+  QCheck.Test.make ~name:"fixed-base pow_g = naive pow" ~count:500 arbitrary_fe (fun e ->
+      Modgroup.equal (Modgroup.pow_g e) (Modgroup.pow Modgroup.g e))
+
+let qcheck_modgroup_pow_h_windowed =
+  QCheck.Test.make ~name:"fixed-base pow_h = naive pow" ~count:500 arbitrary_fe (fun e ->
+      Modgroup.equal (Modgroup.pow_h e) (Modgroup.pow Modgroup.h e))
+
+let qcheck_modgroup_pow_gh_fused =
+  QCheck.Test.make ~name:"pow_gh = mul (pow g a) (pow h b)" ~count:500
+    QCheck.(pair arbitrary_fe arbitrary_fe)
+    (fun (a, b) ->
+      Modgroup.equal (Modgroup.pow_gh a b)
+        (Modgroup.mul (Modgroup.pow Modgroup.g a) (Modgroup.pow Modgroup.h b)))
+
+let test_modgroup_pow_boundaries () =
+  (* Window-table edges: exponents 0, 1, 15, 16, and q-1. *)
+  List.iter
+    (fun e ->
+      let e = Field.of_int e in
+      Alcotest.(check bool) "pow_g edge" true
+        (Modgroup.equal (Modgroup.pow_g e) (Modgroup.pow Modgroup.g e));
+      Alcotest.(check bool) "pow_gh edge" true
+        (Modgroup.equal (Modgroup.pow_gh e e)
+           (Modgroup.mul (Modgroup.pow Modgroup.g e) (Modgroup.pow Modgroup.h e))))
+    [ 0; 1; 15; 16; 255; 256; Field.p - 1 ]
 
 let test_modgroup_exponent_arith () =
   (* g^a * g^b = g^(a+b mod q). *)
@@ -414,6 +521,15 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_poly_add_eval;
           QCheck_alcotest.to_alcotest qcheck_poly_mul_eval;
         ] );
+      ( "lagrange",
+        [
+          Alcotest.test_case "single point" `Quick test_lagrange_single_point;
+          Alcotest.test_case "duplicate abscissae" `Quick test_lagrange_rejects_duplicates;
+          Alcotest.test_case "at_zero = num/den formula" `Quick test_lagrange_at_zero_matches_direct;
+          Alcotest.test_case "eval_many degenerate" `Quick test_eval_many_degenerate;
+          QCheck_alcotest.to_alcotest qcheck_lagrange_cached_eq_uncached;
+          QCheck_alcotest.to_alcotest qcheck_eval_many_eq_horner;
+        ] );
       ( "shamir",
         [
           Alcotest.test_case "reconstruct" `Quick test_shamir_reconstruct;
@@ -426,6 +542,11 @@ let () =
           Alcotest.test_case "group order" `Quick test_modgroup_order;
           Alcotest.test_case "group inverse" `Quick test_modgroup_inv;
           Alcotest.test_case "exponent homomorphism" `Quick test_modgroup_exponent_arith;
+          Alcotest.test_case "window-table boundaries" `Quick test_modgroup_pow_boundaries;
+          QCheck_alcotest.to_alcotest qcheck_modgroup_inv_matches_pow;
+          QCheck_alcotest.to_alcotest qcheck_modgroup_pow_g_windowed;
+          QCheck_alcotest.to_alcotest qcheck_modgroup_pow_h_windowed;
+          QCheck_alcotest.to_alcotest qcheck_modgroup_pow_gh_fused;
           Alcotest.test_case "honest shares verify" `Quick test_feldman_verifies_honest;
           Alcotest.test_case "bad share rejected" `Quick test_feldman_rejects_bad_share;
           Alcotest.test_case "binding across sharings" `Quick test_feldman_binding_across_sharings;

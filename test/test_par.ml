@@ -116,6 +116,51 @@ let test_psample_matches_sequential () =
             seq (ones_parallel ~dist)))
     [ 1; 2; 4 ]
 
+let test_pedersen_jobs_invariant () =
+  (* The crypto hot path — fixed-base commitments, share verification,
+     cached-Lagrange reconstruction — run across a worker pool: the
+     Lagrange cache is domain-local, so every pool size must produce
+     byte-identical results (and equal to the inline jobs=1 path). *)
+  let task seed =
+    let rng = Rng.create seed in
+    let secret = Sb_crypto.Field.random rng in
+    let d = Sb_crypto.Pedersen.deal rng ~threshold:2 ~parties:5 ~secret in
+    let ok = Array.for_all (Sb_crypto.Pedersen.verify_share d.Sb_crypto.Pedersen.commitment)
+        d.Sb_crypto.Pedersen.shares in
+    (* Vary the reveal subset with the seed so several distinct
+       abscissa sets hit each domain's cache. *)
+    let subset =
+      List.map
+        (fun i -> d.Sb_crypto.Pedersen.shares.((i + seed) mod 5))
+        [ 0; 1; 2; (seed * 3) mod 5 ]
+      |> List.sort_uniq (fun a b ->
+             Int.compare a.Sb_crypto.Pedersen.index b.Sb_crypto.Pedersen.index)
+    in
+    ( ok,
+      Sb_crypto.Field.to_int (Sb_crypto.Pedersen.reconstruct subset),
+      Sb_crypto.Field.to_int (Sb_crypto.Pedersen.reconstruct_blind subset),
+      Sb_crypto.Field.to_int secret )
+  in
+  let run_with ~domains =
+    let pool = Sb_par.Pool.create ~domains () in
+    Fun.protect
+      ~finally:(fun () -> Sb_par.Pool.shutdown pool)
+      (fun () -> Sb_par.Pool.map_chunks pool ~f:task (Array.init 64 (fun i -> 1000 + i)))
+  in
+  let base = run_with ~domains:1 in
+  Array.iter
+    (fun (ok, v, _, s) ->
+      Alcotest.(check bool) "honest shares verify" true ok;
+      Alcotest.(check int) "reconstructs the secret" s v)
+    base;
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pedersen path at jobs=%d identical to jobs=1" domains)
+        true
+        (run_with ~domains = base))
+    [ 2; 4 ]
+
 let test_testers_jobs_invariant () =
   let dist = Sb_dist.Dist.uniform setup.Core.Setup.n in
   let run_all () =
@@ -151,6 +196,8 @@ let () =
         ] );
       ( "determinism",
         [
+          Alcotest.test_case "pedersen path invariant in pool size" `Quick
+            test_pedersen_jobs_invariant;
           Alcotest.test_case "psample = sequential sample" `Slow test_psample_matches_sequential;
           Alcotest.test_case "tester results invariant in --jobs" `Slow
             test_testers_jobs_invariant;
