@@ -198,6 +198,15 @@ let print_comm () =
 
 (* --- entry --------------------------------------------------------- *)
 
+let usage () =
+  prerr_endline
+    "usage: bench [quick] [timing|tables] [EXPERIMENT_ID...] [--csv=DIR] [--jobs=N]";
+  Printf.eprintf "known experiment ids: %s\n"
+    (String.concat " "
+       (List.map (fun (e : Core.Experiments.entry) -> e.Core.Experiments.id)
+          Core.Experiments.registry));
+  exit 2
+
 let () =
   (* The bench run is the perf-trajectory artifact: observability on. *)
   Sb_obs.Metrics.set_enabled true;
@@ -231,6 +240,20 @@ let () =
         && jobs_of a = None)
       args
   in
+  (* Reject anything unrecognised up front instead of silently treating
+     it as an experiment id: an unknown flag or a typoed id used to
+     warn and exit 0, which let CI invocations rot. *)
+  List.iter
+    (fun a ->
+      if String.length a > 1 && a.[0] = '-' then begin
+        Printf.eprintf "bench: unknown option %s\n" a;
+        usage ()
+      end
+      else if Core.Experiments.find a = None then begin
+        Printf.eprintf "bench: unknown experiment id %s\n" a;
+        usage ()
+      end)
+    ids;
   let timing_only = List.mem "timing" args in
   let tables_only = List.mem "tables" args in
   let outcomes = if timing_only then [] else run_experiments setup ids in
@@ -268,4 +291,19 @@ let () =
   in
   let path = Printf.sprintf "BENCH_%s.json" tag in
   Sb_obs.Report.write_file path report;
-  say "wrote %s" path
+  say "wrote %s" path;
+  (* Perf trajectory: one compact row per bench invocation, appended to
+     a gitignored jsonl log so local runs accumulate a history that
+     `simbcast perf-diff` endpoints can be picked from. *)
+  let utc =
+    let t = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+      (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+  in
+  let hist = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_history.jsonl" in
+  Fun.protect
+    ~finally:(fun () -> close_out hist)
+    (fun () ->
+      output_string hist (Sb_obs.Json.to_string (Sb_obs.Report.history_row ~utc report));
+      output_char hist '\n');
+  say "appended BENCH_history.jsonl"

@@ -67,14 +67,19 @@ let protocol_of_name name =
   | None -> (
       if String.equal name "commit-open" then Ok Sb_protocols.Commit_open.protocol
       else
-        match List.assoc_opt name (Core.Resilience.substrates ()) with
+        let substrates = Core.Resilience.substrates () in
+        match List.assoc_opt name substrates with
         | Some p -> Ok p
-        | None ->
-            Error
-              (Printf.sprintf "unknown protocol %S (try: %s)" name
-                 (String.concat ", "
-                    (("commit-open" :: Sb_protocols.Registry.names)
-                    @ List.map fst (Core.Resilience.substrates ())))))
+        | None -> (
+            (* Substrate shorthand: `bracha` for `concurrent-bracha`. *)
+            match List.assoc_opt ("concurrent-" ^ name) substrates with
+            | Some p -> Ok p
+            | None ->
+                Error
+                  (Printf.sprintf "unknown protocol %S (try: %s)" name
+                     (String.concat ", "
+                        (("commit-open" :: Sb_protocols.Registry.names)
+                        @ List.map fst substrates)))))
 
 let n_arg =
   let doc = "Number of parties." in
@@ -162,23 +167,48 @@ let report_arg =
   let doc = "Write a versioned JSON run report (implies metric collection)." in
   Arg.(value & opt (some string) None & info [ "report" ] ~doc ~docv:"FILE")
 
-let setup_obs metrics report =
+let trace_arg =
+  let doc =
+    "Record a causal trace (session/round/party/phase span trees, flow edges per \
+     delivered envelope) and write it as Chrome trace-event JSON to $(docv) — open in \
+     ui.perfetto.dev. Tracing never perturbs seeded protocol outputs."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let setup_obs ?trace metrics report =
   if metrics || report <> None then begin
     Sb_obs.Metrics.set_enabled true;
     Sb_obs.Span.set_enabled true
-  end
+  end;
+  match trace with
+  | Some _ -> Sb_obs.Trace_ctx.set_enabled true
+  | None -> ()
 
 (* Instrumentation never touches the split RNG streams, so the printed
    protocol outputs are identical with or without these flags. *)
-let finish_obs ?(experiments = []) ~tag metrics report =
+let finish_obs ?(experiments = []) ?trace ~tag metrics report =
+  (match trace with
+  | None -> ()
+  | Some file -> (
+      try
+        Sb_obs.Perfetto.write_file file;
+        Printf.printf "wrote %s (%d/%d sessions traced)\n" file
+          (Sb_obs.Trace_ctx.sessions_traced ())
+          (Sb_obs.Trace_ctx.session_total ())
+      with Sys_error msg ->
+        Printf.eprintf "simbcast: cannot write trace: %s\n" msg;
+        exit 1));
   if metrics then Sb_util.Tabular.print (Sb_obs.Metrics.to_table ());
   match report with
   | None -> ()
   | Some file -> (
+      let trace_block =
+        match trace with None -> None | Some _ -> Some (Sb_obs.Perfetto.summary ())
+      in
       let report =
         Sb_obs.Report.make ~tool:"simbcast" ~tag
           ~jobs:(Sb_par.Pool.get_default_domains ())
-          ~experiments ()
+          ~experiments ?trace:trace_block ()
       in
       try
         Sb_obs.Report.write_file file report;
@@ -232,9 +262,17 @@ let run_cmd =
     let doc = "Input bit vector, e.g. 10110 (defaults to uniform random)." in
     Arg.(value & opt (some string) None & info [ "x"; "inputs" ] ~doc)
   in
-  let run pname n thresh seed inputs adversary_name fault_spec verbose metrics report jobs =
+  let pos_protocol_arg =
+    let doc = "Protocol name (positional alternative to $(b,-p))." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+  in
+  let run pos_pname pname n thresh seed inputs adversary_name fault_spec verbose metrics
+      report trace jobs =
+    (* `simbcast run bracha ...` and `simbcast run -p bracha ...` are
+       equivalent; the positional wins when both are given. *)
+    let pname = Option.value ~default:pname pos_pname in
     setup_logging verbose;
-    setup_obs metrics report;
+    setup_obs ?trace metrics report;
     setup_jobs jobs;
     match (protocol_of_name pname, plan_of_spec ~n fault_spec) with
     | Error e, _ | _, Error e -> fail "%s" e
@@ -272,14 +310,15 @@ let run_cmd =
             Printf.printf "inputs     : %s\n" (Sb_util.Bitvec.to_string r.Core.Announced.x);
             Printf.printf "announced  : %s\n" (Sb_util.Bitvec.to_string r.Core.Announced.w);
             Printf.printf "consistent : %b\n" r.Core.Announced.consistent;
-            finish_obs ~tag:"run" metrics report;
+            finish_obs ?trace ~tag:"run" metrics report;
             `Ok ())
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol execution and print the announced vector")
     Term.(
       ret
-        (const run $ protocol_arg $ n_arg $ thresh_arg $ seed_arg $ inputs_arg $ adversary_arg
-       $ faults_arg $ verbose_arg $ metrics_arg $ report_arg $ jobs_arg))
+        (const run $ pos_protocol_arg $ protocol_arg $ n_arg $ thresh_arg $ seed_arg
+       $ inputs_arg $ adversary_arg $ faults_arg $ verbose_arg $ metrics_arg $ report_arg
+       $ trace_arg $ jobs_arg))
 
 (* --- classify ------------------------------------------------------- *)
 
@@ -457,8 +496,8 @@ let experiment_cmd =
     let doc = "Also dump the table as $(docv)/<id>.csv." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc ~docv:"DIR")
   in
-  let run id quick csv metrics report jobs =
-    setup_obs metrics report;
+  let run id quick csv metrics report trace jobs =
+    setup_obs ?trace metrics report;
     setup_jobs jobs;
     let setup =
       if quick then Core.Setup.with_samples 2000 Core.Setup.default else Core.Setup.default
@@ -498,13 +537,16 @@ let experiment_cmd =
             };
           ]
         in
-        finish_obs ~experiments ~tag:(String.lowercase_ascii o.Core.Experiments.id) metrics
-          report;
+        finish_obs ~experiments ?trace ~tag:(String.lowercase_ascii o.Core.Experiments.id)
+          metrics report;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E16)")
-    Term.(ret (const run $ id_arg $ quick_arg $ csv_arg $ metrics_arg $ report_arg $ jobs_arg))
+    Term.(
+      ret
+        (const run $ id_arg $ quick_arg $ csv_arg $ metrics_arg $ report_arg $ trace_arg
+       $ jobs_arg))
 
 (* --- fault-sweep ----------------------------------------------------- *)
 
@@ -523,8 +565,8 @@ let fault_sweep_cmd =
     Arg.(value & opt string "all" & info [ "p"; "protocol" ] ~doc)
   in
   let catalogue () = Core.Resilience.substrates () @ Core.Resilience.vss_protocols () in
-  let run pname n thresh seed samples fault_spec drops crashes metrics report jobs =
-    setup_obs metrics report;
+  let run pname n thresh seed samples fault_spec drops crashes metrics report trace jobs =
+    setup_obs ?trace metrics report;
     setup_jobs jobs;
     let protocols =
       if pname = "all" then Ok (catalogue ())
@@ -601,7 +643,7 @@ let fault_sweep_cmd =
               };
             ]
           in
-          finish_obs ~experiments ~tag:"fault-sweep" metrics report;
+          finish_obs ~experiments ?trace ~tag:"fault-sweep" metrics report;
           `Ok ()
         end
   in
@@ -613,7 +655,148 @@ let fault_sweep_cmd =
     Term.(
       ret
         (const run $ sweep_protocol_arg $ n_arg $ thresh_arg $ seed_arg $ samples_arg
-       $ faults_arg $ drops_arg $ crashes_arg $ metrics_arg $ report_arg $ jobs_arg))
+       $ faults_arg $ drops_arg $ crashes_arg $ metrics_arg $ report_arg $ trace_arg
+       $ jobs_arg))
+
+(* --- profile --------------------------------------------------------- *)
+
+let profile_cmd =
+  let id_arg =
+    let doc = "Experiment id to profile (e1..e8, e10..e16)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let quick_arg =
+    let doc = "Reduced sample budget." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let top_arg =
+    let doc = "Rows of the phase-time attribution table to print." in
+    Arg.(value & opt int 20 & info [ "top" ] ~doc ~docv:"K")
+  in
+  let run id quick top trace jobs =
+    setup_jobs jobs;
+    Sb_obs.Metrics.set_enabled true;
+    Sb_obs.Trace_ctx.set_enabled true;
+    match Core.Experiments.find id with
+    | None ->
+        fail "unknown experiment %S (try: %s)" id (String.concat ", " Core.Experiments.ids)
+    | Some e ->
+        let setup =
+          if quick then Core.Setup.with_samples 2000 Core.Setup.default else Core.Setup.default
+        in
+        let t0 = Unix.gettimeofday () in
+        let o = e.Core.Experiments.run setup in
+        let wall = Unix.gettimeofday () -. t0 in
+        Printf.printf "%s: %s — %s in %.2fs\n" o.Core.Experiments.id o.Core.Experiments.title
+          (if o.Core.Experiments.ok then "OK" else "MISMATCH")
+          wall;
+        Sb_util.Tabular.print (Sb_obs.Perfetto.flame_table ~top ());
+        (match trace with
+        | None -> ()
+        | Some file -> (
+            try
+              Sb_obs.Perfetto.write_file file;
+              Printf.printf "wrote %s (%d/%d sessions traced)\n" file
+                (Sb_obs.Trace_ctx.sessions_traced ())
+                (Sb_obs.Trace_ctx.session_total ())
+            with Sys_error msg ->
+              Printf.eprintf "simbcast: cannot write trace: %s\n" msg;
+              exit 1));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one experiment with causal tracing on and print the phase-time attribution \
+          table (self/total wall time per span path); --trace additionally saves the \
+          Perfetto trace")
+    Term.(ret (const run $ id_arg $ quick_arg $ top_arg $ trace_arg $ jobs_arg))
+
+(* --- perf-diff -------------------------------------------------------- *)
+
+let perf_diff_cmd =
+  let base_arg =
+    let doc = "Baseline report (e.g. the committed BENCH_quick.json)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASE" ~doc)
+  in
+  let fresh_arg =
+    let doc = "Fresh report to compare against the baseline." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"FRESH" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Allowed relative slowdown per timing entry; a fresh/base ratio above \
+       1 + $(docv) is a regression and the command exits 1."
+    in
+    Arg.(value & opt float 0.2 & info [ "threshold" ] ~doc ~docv:"FRAC")
+  in
+  let match_arg =
+    let doc =
+      "Comma-separated name prefixes to compare (default: every baseline entry), e.g. \
+       'gtester-smoke,crypto/'."
+    in
+    Arg.(value & opt (list string) [] & info [ "match" ] ~doc ~docv:"PREFIXES")
+  in
+  let read_report path =
+    match
+      In_channel.with_open_bin path (fun ic -> Sb_obs.Json.of_string (In_channel.input_all ic))
+    with
+    | Ok json -> Ok json
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | exception Sys_error msg -> Error msg
+  in
+  let run base_path fresh_path threshold prefixes =
+    if threshold < 0.0 then fail "--threshold must be non-negative"
+    else
+      match (read_report base_path, read_report fresh_path) with
+      | Error e, _ | _, Error e -> fail "%s" e
+      | Ok base, Ok fresh ->
+          let deltas, missing = Sb_obs.Report.perf_diff ~prefixes ~base ~fresh () in
+          if deltas = [] && missing = [] then
+            fail "no baseline timing entries match%s"
+              (if prefixes = [] then "" else " --match " ^ String.concat "," prefixes)
+          else begin
+            let table =
+              Sb_util.Tabular.create
+                ~title:
+                  (Printf.sprintf "perf diff vs %s (threshold %+.0f%%)" base_path
+                     (100.0 *. threshold))
+                ~columns:[ "name"; "base ns/run"; "fresh ns/run"; "ratio"; "verdict" ]
+            in
+            let regressions = ref [] in
+            List.iter
+              (fun (d : Sb_obs.Report.perf_delta) ->
+                let bad = Float.is_nan d.ratio || d.ratio > 1.0 +. threshold in
+                if bad then regressions := d.name :: !regressions;
+                Sb_util.Tabular.add_row table
+                  [
+                    d.name;
+                    Printf.sprintf "%.0f" d.base_ns;
+                    Printf.sprintf "%.0f" d.fresh_ns;
+                    Printf.sprintf "%.3f" d.ratio;
+                    (if bad then "REGRESSION" else "ok");
+                  ])
+              deltas;
+            List.iter
+              (fun name ->
+                regressions := name :: !regressions;
+                Sb_util.Tabular.add_row table [ name; "-"; "missing"; "-"; "REGRESSION" ])
+              missing;
+            Sb_util.Tabular.print table;
+            if !regressions <> [] then begin
+              Printf.eprintf "simbcast: perf regression in: %s\n"
+                (String.concat ", " (List.rev !regressions));
+              exit 1
+            end;
+            `Ok ()
+          end
+  in
+  Cmd.v
+    (Cmd.info "perf-diff"
+       ~doc:
+         "Compare the timings blocks of two run reports entry-by-entry and fail (exit 1) \
+          on any slowdown beyond the threshold — the perf-trajectory guard used by CI")
+    Term.(ret (const run $ base_arg $ fresh_arg $ threshold_arg $ match_arg))
 
 let () =
   let info =
@@ -623,4 +806,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; classify_cmd; test_cmd; exact_cmd; experiment_cmd; fault_sweep_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            classify_cmd;
+            test_cmd;
+            exact_cmd;
+            experiment_cmd;
+            fault_sweep_cmd;
+            profile_cmd;
+            perf_diff_cmd;
+          ]))

@@ -65,7 +65,18 @@ let pow_fixed table e =
   done;
   !acc
 
-let pow_g e = pow_fixed table_g (Field.to_int e)
+(* Attribution bucket: when tracing is on, fixed-base exponentiations
+   charge their wall time to the innermost open span (no span per call
+   — one exponentiation is far below span granularity). Disabled cost
+   is the one boolean load. *)
+let pow_g e =
+  if Sb_obs.Trace_ctx.enabled () then begin
+    let t0 = Sb_obs.Trace_ctx.now_us () in
+    let r = pow_fixed table_g (Field.to_int e) in
+    Sb_obs.Trace_ctx.bucket_add "pow_g" (Sb_obs.Trace_ctx.now_us () -. t0);
+    r
+  end
+  else pow_fixed table_g (Field.to_int e)
 let pow_h e = pow_fixed table_h (Field.to_int e)
 
 let pow_gh a b =

@@ -4,8 +4,17 @@ type commitment = Modgroup.elt array
 let h = Modgroup.h
 
 (* Fused fixed-base double exponentiation g^a * h^b — one table pass
-   instead of two full square-and-multiply ladders and a multiply. *)
-let commit_pair a b = Modgroup.pow_gh a b
+   instead of two full square-and-multiply ladders and a multiply.
+   Traced runs charge the time to the "commit_pair" attribution
+   bucket of the innermost open span. *)
+let commit_pair a b =
+  if Sb_obs.Trace_ctx.enabled () then begin
+    let t0 = Sb_obs.Trace_ctx.now_us () in
+    let r = Modgroup.pow_gh a b in
+    Sb_obs.Trace_ctx.bucket_add "commit_pair" (Sb_obs.Trace_ctx.now_us () -. t0);
+    r
+  end
+  else Modgroup.pow_gh a b
 
 type dealt = { shares : share array; commitment : commitment; blind0 : Field.t }
 
@@ -37,12 +46,36 @@ let verify_share c s = Modgroup.equal (commit_pair s.value s.blind) (expected_co
 let verify_opening c ~secret ~blind =
   Array.length c > 0 && Modgroup.equal (commit_pair secret blind) c.(0)
 
+(* Both interpolations charge the "reconstruct" attribution bucket
+   under tracing, like Shamir.reconstruct. *)
 let reconstruct shares =
-  Lagrange.interpolate_at
-    (List.map (fun s -> (Shamir.eval_point s.index, s.value)) shares)
-    Field.zero
+  if Sb_obs.Trace_ctx.enabled () then begin
+    let t0 = Sb_obs.Trace_ctx.now_us () in
+    let r =
+      Lagrange.interpolate_at
+        (List.map (fun s -> (Shamir.eval_point s.index, s.value)) shares)
+        Field.zero
+    in
+    Sb_obs.Trace_ctx.bucket_add "reconstruct" (Sb_obs.Trace_ctx.now_us () -. t0);
+    r
+  end
+  else
+    Lagrange.interpolate_at
+      (List.map (fun s -> (Shamir.eval_point s.index, s.value)) shares)
+      Field.zero
 
 let reconstruct_blind shares =
-  Lagrange.interpolate_at
-    (List.map (fun s -> (Shamir.eval_point s.index, s.blind)) shares)
-    Field.zero
+  if Sb_obs.Trace_ctx.enabled () then begin
+    let t0 = Sb_obs.Trace_ctx.now_us () in
+    let r =
+      Lagrange.interpolate_at
+        (List.map (fun s -> (Shamir.eval_point s.index, s.blind)) shares)
+        Field.zero
+    in
+    Sb_obs.Trace_ctx.bucket_add "reconstruct" (Sb_obs.Trace_ctx.now_us () -. t0);
+    r
+  end
+  else
+    Lagrange.interpolate_at
+      (List.map (fun s -> (Shamir.eval_point s.index, s.blind)) shares)
+      Field.zero

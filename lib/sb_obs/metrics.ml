@@ -70,27 +70,58 @@ let default_buckets =
   [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 2e3; 5e3; 1e4; 2e4; 5e4; 1e5; 2e5; 5e5;
      1e6; 2e6; 5e6; 1e7; 2e7; 5e7; 1e8; 2e8; 5e8 |]
 
-let histogram ?(buckets = default_buckets) name =
-  intern name
-    (fun () ->
-      let ok = ref (Array.length buckets > 0) in
-      Array.iteri (fun i b -> if i > 0 && b <= buckets.(i - 1) then ok := false) buckets;
-      if not !ok then invalid_arg "Metrics.histogram: bounds must be non-empty, strictly increasing";
-      let h =
-        {
-          h_name = name;
-          h_lock = Mutex.create ();
-          bounds = Array.copy buckets;
-          counts = Array.make (Array.length buckets + 1) 0;
-          h_count = 0;
-          h_sum = 0.0;
-          h_min = Float.nan;
-          h_max = Float.nan;
-        }
+(* Histograms interned a second time with different [~buckets] keep the
+   registered bounds (bounds are fixed at creation); warn once per name
+   so the silent divergence is at least visible in the event stream. *)
+let bucket_warned : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let histogram ?buckets name =
+  let requested = buckets in
+  let buckets = Option.value ~default:default_buckets buckets in
+  let h =
+    intern name
+      (fun () ->
+        let ok = ref (Array.length buckets > 0) in
+        Array.iteri (fun i b -> if i > 0 && b <= buckets.(i - 1) then ok := false) buckets;
+        if not !ok then
+          invalid_arg "Metrics.histogram: bounds must be non-empty, strictly increasing";
+        let h =
+          {
+            h_name = name;
+            h_lock = Mutex.create ();
+            bounds = Array.copy buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = Float.nan;
+            h_max = Float.nan;
+          }
+        in
+        Hashtbl.replace registry name (Histogram h);
+        h)
+      (function Histogram h -> Some h | _ -> None)
+  in
+  (match requested with
+  | Some b when b <> h.bounds ->
+      let first =
+        locked (fun () ->
+            if Hashtbl.mem bucket_warned name then false
+            else begin
+              Hashtbl.add bucket_warned name ();
+              true
+            end)
       in
-      Hashtbl.replace registry name (Histogram h);
-      h)
-    (function Histogram h -> Some h | _ -> None)
+      (* Emit outside reg_lock: sinks run arbitrary user code. *)
+      if first then
+        Event.emit "metrics.bucket_mismatch"
+          ~fields:
+            [
+              ("name", Json.Str name);
+              ("registered_buckets", Json.Int (Array.length h.bounds));
+              ("requested_buckets", Json.Int (Array.length b));
+            ]
+  | _ -> ());
+  h
 
 let bucket_index bounds x =
   (* First bucket whose upper bound admits x; overflow otherwise. *)
@@ -172,6 +203,7 @@ let stats h =
 
 let reset () =
   locked (fun () ->
+      Hashtbl.reset bucket_warned;
       Hashtbl.iter
         (fun _ m ->
           match m with

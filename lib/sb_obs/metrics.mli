@@ -38,7 +38,10 @@ val histogram : ?buckets:float array -> string -> histogram
     geometric ladder suited to microsecond durations
     (1, 2, 5, 10, ... 5e8). Bucket bounds are fixed at first creation;
     a later lookup with different bounds returns the existing
-    histogram unchanged. *)
+    histogram unchanged — and, once per name (rearmed by {!reset}),
+    emits a [metrics.bucket_mismatch] event with the registered and
+    requested bucket counts so the divergence is visible to attached
+    sinks rather than silent. *)
 
 val observe : histogram -> float -> unit
 

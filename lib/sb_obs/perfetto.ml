@@ -1,0 +1,218 @@
+(* Chrome trace-event export of a collected Trace_ctx trace (loadable
+   in Perfetto / chrome://tracing), plus the deterministic flame-style
+   aggregation behind `simbcast profile`.
+
+   Timestamps are re-based to the earliest span start so the JSON
+   carries small microsecond offsets. Each session occupies its own
+   thread track (pid 0, tid = session ordinal); spans are "X" complete
+   events whose nesting is implied by timestamp containment, and each
+   causal edge becomes an "s"/"f" flow-event pair bound to the
+   midpoints of its source and destination spans. *)
+
+let dur_of (s : Trace_ctx.span) =
+  if Float.is_nan s.Trace_ctx.end_us then 0.0 else Float.max 0.0 (s.Trace_ctx.end_us -. s.Trace_ctx.start_us)
+
+let base_ts spans =
+  List.fold_left (fun acc (s : Trace_ctx.span) -> Float.min acc s.Trace_ctx.start_us) Float.infinity spans
+
+let span_event ~t0 (s : Trace_ctx.span) =
+  let bucket_args =
+    List.concat_map
+      (fun (name, calls, total_us) ->
+        [
+          (name ^ "_calls", Json.Int calls);
+          (name ^ "_us", Json.Float total_us);
+        ])
+      (List.rev s.Trace_ctx.buckets)
+  in
+  Json.Obj
+    [
+      ("ph", Json.Str "X");
+      ("pid", Json.Int 0);
+      ("tid", Json.Int s.Trace_ctx.track);
+      ("ts", Json.Float (s.Trace_ctx.start_us -. t0));
+      ("dur", Json.Float (dur_of s));
+      ("name", Json.Str s.Trace_ctx.name);
+      ("cat", Json.Str s.Trace_ctx.cat);
+      ( "args",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Str v)) s.Trace_ctx.args
+          @ [
+              ("minor_words", Json.Float s.Trace_ctx.minor_words);
+              ("major_words", Json.Float s.Trace_ctx.major_words);
+            ]
+          @ bucket_args) );
+    ]
+
+let flow_events ~t0 ~by_id i (src_id, dst_id) =
+  match (Hashtbl.find_opt by_id src_id, Hashtbl.find_opt by_id dst_id) with
+  | Some (src : Trace_ctx.span), Some (dst : Trace_ctx.span) ->
+      let mid (s : Trace_ctx.span) = s.Trace_ctx.start_us -. t0 +. (dur_of s /. 2.0) in
+      [
+        Json.Obj
+          [
+            ("ph", Json.Str "s");
+            ("pid", Json.Int 0);
+            ("tid", Json.Int src.Trace_ctx.track);
+            ("ts", Json.Float (mid src));
+            ("id", Json.Int (i + 1));
+            ("name", Json.Str "msg");
+            ("cat", Json.Str "flow");
+          ];
+        Json.Obj
+          [
+            ("ph", Json.Str "f");
+            ("bp", Json.Str "e");
+            ("pid", Json.Int 0);
+            ("tid", Json.Int dst.Trace_ctx.track);
+            ("ts", Json.Float (mid dst));
+            ("id", Json.Int (i + 1));
+            ("name", Json.Str "msg");
+            ("cat", Json.Str "flow");
+          ];
+      ]
+  | _ -> []
+
+let to_json () =
+  let spans = Trace_ctx.spans () in
+  let flows = Trace_ctx.flows () in
+  let t0 = match spans with [] -> 0.0 | _ -> base_ts spans in
+  let by_id = Hashtbl.create (List.length spans) in
+  List.iter (fun (s : Trace_ctx.span) -> Hashtbl.replace by_id s.Trace_ctx.id s) spans;
+  let meta =
+    Json.Obj
+      [
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 0);
+        ("name", Json.Str "process_name");
+        ("args", Json.Obj [ ("name", Json.Str "simbcast") ]);
+      ]
+    :: List.filter_map
+         (fun (s : Trace_ctx.span) ->
+           if s.Trace_ctx.parent = -1 then
+             Some
+               (Json.Obj
+                  [
+                    ("ph", Json.Str "M");
+                    ("pid", Json.Int 0);
+                    ("tid", Json.Int s.Trace_ctx.track);
+                    ("name", Json.Str "thread_name");
+                    ( "args",
+                      Json.Obj
+                        [
+                          ( "name",
+                            Json.Str
+                              (Printf.sprintf "session %d: %s" s.Trace_ctx.track s.Trace_ctx.name)
+                          );
+                        ] );
+                  ])
+           else None)
+         spans
+  in
+  let span_evs = List.map (span_event ~t0) spans in
+  let flow_evs = List.concat (List.mapi (flow_events ~t0 ~by_id) flows) in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ span_evs @ flow_evs));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json ()));
+      output_char oc '\n')
+
+(* --- flame-style aggregation --------------------------------------- *)
+
+type frame = { path : string; count : int; total_us : float; self_us : float }
+
+let flame () =
+  let spans = Trace_ctx.spans () in
+  let by_id = Hashtbl.create (List.length spans) in
+  List.iter (fun (s : Trace_ctx.span) -> Hashtbl.replace by_id s.Trace_ctx.id s) spans;
+  (* Aggregation path: agg keys from the session root down. *)
+  let path_cache = Hashtbl.create (List.length spans) in
+  let rec path_of (s : Trace_ctx.span) =
+    match Hashtbl.find_opt path_cache s.Trace_ctx.id with
+    | Some p -> p
+    | None ->
+        let p =
+          if s.Trace_ctx.parent = -1 then s.Trace_ctx.agg
+          else
+            match Hashtbl.find_opt by_id s.Trace_ctx.parent with
+            | Some parent -> path_of parent ^ "/" ^ s.Trace_ctx.agg
+            | None -> s.Trace_ctx.agg
+        in
+        Hashtbl.replace path_cache s.Trace_ctx.id p;
+        p
+  in
+  (* Direct-children time per span id, for self-time. *)
+  let child_time = Hashtbl.create (List.length spans) in
+  List.iter
+    (fun (s : Trace_ctx.span) ->
+      if s.Trace_ctx.parent <> -1 then
+        let cur = Option.value ~default:0.0 (Hashtbl.find_opt child_time s.Trace_ctx.parent) in
+        Hashtbl.replace child_time s.Trace_ctx.parent (cur +. dur_of s))
+    spans;
+  let acc : (string, int * float * float) Hashtbl.t = Hashtbl.create 64 in
+  let add path count total self =
+    let c, t, sf = Option.value ~default:(0, 0.0, 0.0) (Hashtbl.find_opt acc path) in
+    Hashtbl.replace acc path (c + count, t +. total, sf +. self)
+  in
+  List.iter
+    (fun (s : Trace_ctx.span) ->
+      let p = path_of s in
+      let total = dur_of s in
+      let children = Option.value ~default:0.0 (Hashtbl.find_opt child_time s.Trace_ctx.id) in
+      let buckets_total =
+        List.fold_left (fun a (_, _, t) -> a +. t) 0.0 s.Trace_ctx.buckets
+      in
+      add p 1 total (Float.max 0.0 (total -. children -. buckets_total));
+      (* Buckets surface as pseudo-leaves under their span's path. *)
+      List.iter
+        (fun (name, calls, t) -> add (p ^ "/[" ^ name ^ "]") calls t t)
+        s.Trace_ctx.buckets)
+    spans;
+  Hashtbl.fold (fun path (count, total_us, self_us) l -> { path; count; total_us; self_us } :: l) acc []
+  |> List.sort (fun a b ->
+         match Float.compare b.total_us a.total_us with
+         | 0 -> String.compare a.path b.path
+         | c -> c)
+
+let flame_table ?(top = 30) () =
+  let frames = flame () in
+  let shown = List.filteri (fun i _ -> i < top) frames in
+  let table =
+    Sb_util.Tabular.create
+      ~title:
+        (Printf.sprintf "phase-time attribution (top %d of %d paths, %d/%d sessions traced)"
+           (List.length shown) (List.length frames) (Trace_ctx.sessions_traced ())
+           (Trace_ctx.session_total ()))
+      ~columns:[ "path"; "calls"; "total ms"; "self ms"; "self %" ]
+  in
+  let grand_self = List.fold_left (fun a f -> a +. f.self_us) 0.0 frames in
+  List.iter
+    (fun f ->
+      Sb_util.Tabular.add_row table
+        [
+          f.path;
+          string_of_int f.count;
+          Printf.sprintf "%.3f" (f.total_us /. 1e3);
+          Printf.sprintf "%.3f" (f.self_us /. 1e3);
+          (if grand_self > 0.0 then Printf.sprintf "%.1f" (100.0 *. f.self_us /. grand_self)
+           else "-");
+        ])
+    shown;
+  table
+
+let summary () =
+  Json.Obj
+    [
+      ("sessions_traced", Json.Int (Trace_ctx.sessions_traced ()));
+      ("sessions_total", Json.Int (Trace_ctx.session_total ()));
+      ("spans", Json.Int (List.length (Trace_ctx.spans ())));
+      ("flows", Json.Int (List.length (Trace_ctx.flows ())));
+    ]

@@ -1,4 +1,4 @@
-let schema_version = 2
+let schema_version = 3
 
 type experiment_entry = {
   id : string;
@@ -43,7 +43,8 @@ let comm_to_json () =
       ("p2p_bytes", c "sim.bytes.p2p");
     ]
 
-let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings = []) () =
+let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings = [])
+    ?trace () =
   Json.Obj
     ([
        ("schema_version", Json.Int schema_version);
@@ -57,6 +58,7 @@ let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings
     @ [ ("comm", comm_to_json ()) ]
     @ (if timings = [] then []
        else [ ("timings", Json.List (List.map timing_to_json timings)) ])
+    @ (match trace with None -> [] | Some t -> [ ("trace", t) ])
     @ [ ("metrics", Metrics.to_json ()); ("spans", Span.to_json ()) ])
 
 let write_file path json =
@@ -103,4 +105,80 @@ let validate json =
   in
   let* metrics = require "missing metrics" (Json.member "metrics" json) in
   let* _ = require "metrics missing counters" (Json.member "counters" metrics) in
+  (* Schema v3: the trace block is optional (only traced runs carry
+     it), but when present it must be well-formed. *)
+  let* () =
+    match Json.member "trace" json with
+    | None -> Ok ()
+    | Some t ->
+        List.fold_left
+          (fun acc field ->
+            let* () = acc in
+            let* v = require ("trace missing " ^ field) (Json.member field t) in
+            let* _ = require ("trace " ^ field ^ " not an int") (Json.to_int_opt v) in
+            Ok ())
+          (Ok ())
+          [ "sessions_traced"; "sessions_total"; "spans"; "flows" ]
+  in
   Ok ()
+
+(* --- perf trajectory ------------------------------------------------ *)
+
+type perf_delta = {
+  name : string;
+  base_ns : float;
+  fresh_ns : float;
+  ratio : float;  (* fresh / base; > 1 is a slowdown *)
+}
+
+let timings_of json =
+  match Json.member "timings" json with
+  | None -> []
+  | Some t -> (
+      match Json.to_list_opt t with
+      | None -> []
+      | Some l ->
+          List.filter_map
+            (fun e ->
+              match
+                ( Option.bind (Json.member "name" e) Json.to_str_opt,
+                  Option.bind (Json.member "ns_per_run" e) Json.to_float_opt )
+              with
+              | Some name, Some ns -> Some (name, ns)
+              | _ -> None)
+            l)
+
+let perf_diff ?(prefixes = []) ~base ~fresh () =
+  let keep name =
+    prefixes = [] || List.exists (fun p -> String.starts_with ~prefix:p name) prefixes
+  in
+  let b = List.filter (fun (n, _) -> keep n) (timings_of base) in
+  let f = timings_of fresh in
+  let deltas, missing =
+    List.fold_left
+      (fun (ds, ms) (name, base_ns) ->
+        match List.assoc_opt name f with
+        | Some fresh_ns ->
+            let ratio = if base_ns > 0.0 then fresh_ns /. base_ns else Float.nan in
+            ({ name; base_ns; fresh_ns; ratio } :: ds, ms)
+        | None -> (ds, name :: ms))
+      ([], []) b
+  in
+  (List.rev deltas, List.rev missing)
+
+(* One compact line per bench run, for append-only BENCH_history.jsonl:
+   enough to plot a perf trajectory without parsing full reports. *)
+let history_row ?utc json =
+  let str_at path = Option.bind (Json.member path json) Json.to_str_opt in
+  Json.Obj
+    ((match utc with None -> [] | Some u -> [ ("utc", Json.Str u) ])
+    @ [
+        ("tag", Json.Str (Option.value ~default:"?" (str_at "tag")));
+        ( "schema_version",
+          Json.Int
+            (Option.value ~default:0
+               (Option.bind (Json.member "schema_version" json) Json.to_int_opt)) );
+        ( "timings",
+          Json.Obj
+            (List.map (fun (n, ns) -> (n, Json.Float ns)) (timings_of json)) );
+      ])

@@ -25,6 +25,7 @@ val make :
   ?jobs:int ->
   ?experiments:experiment_entry list ->
   ?timings:timing_entry list ->
+  ?trace:Json.t ->
   unit ->
   Json.t
 (** Assembles the report from the given outcomes plus
@@ -37,7 +38,11 @@ val make :
     [broadcasts], [p2p_messages], [broadcast_bytes], [p2p_bytes] —
     snapshotting the network's [sim.broadcasts], [sim.p2p] and
     [sim.bytes.*] counters, so byte trajectories can be diffed across
-    runs without digging into the metrics blob. *)
+    runs without digging into the metrics blob.
+
+    Since schema v3 a traced run ([--trace]) additionally carries an
+    optional ["trace"] object — normally {!Perfetto.summary} — with
+    integer [sessions_traced], [sessions_total], [spans], [flows]. *)
 
 val write_file : string -> Json.t -> unit
 (** Pretty-printed, trailing newline. *)
@@ -45,5 +50,27 @@ val write_file : string -> Json.t -> unit
 val validate : Json.t -> (unit, string) result
 (** Structural check: schema_version matches, the experiments array is
     well-formed (id/ok/wall_clock_s present), the [comm] object carries
-    all four integer totals, metrics object present. Used by tests and
-    the CI smoke step. *)
+    all four integer totals, metrics object present, and the optional
+    [trace] block (v3) carries its four integer counts when present.
+    Used by tests and the CI smoke step. *)
+
+type perf_delta = {
+  name : string;  (** timing entry name, e.g. ["gtester-smoke/20k"] *)
+  base_ns : float;
+  fresh_ns : float;
+  ratio : float;  (** [fresh_ns /. base_ns]; > 1 is a slowdown *)
+}
+
+val perf_diff :
+  ?prefixes:string list -> base:Json.t -> fresh:Json.t -> unit -> perf_delta list * string list
+(** Compare the [timings] arrays of two reports entry-by-entry.
+    [prefixes], when non-empty, restricts the comparison to baseline
+    entries whose name starts with one of the prefixes. Returns the
+    matched deltas (in baseline order) and the names of baseline
+    entries missing from the fresh report. Thresholding is the
+    caller's policy — see [simbcast perf-diff]. *)
+
+val history_row : ?utc:string -> Json.t -> Json.t
+(** Compact one-line summary of a report — tag, schema version, and a
+    [{name: ns_per_run}] object — for appending to the append-only
+    [BENCH_history.jsonl] perf-trajectory log. *)

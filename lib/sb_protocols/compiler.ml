@@ -78,8 +78,22 @@ let compile program ~using:(base : Protocol.t) =
         | None -> []
         | Some party ->
             let out =
-              List.map (wrap_env epoch)
-                (party.Party.step ~round:local ~inbox:(unwrap_inbox epoch inbox))
+              if Sb_obs.Trace_ctx.enabled () then begin
+                let sp =
+                  Sb_obs.Trace_ctx.begin_span ~agg:"epoch" ~cat:"phase"
+                    ~args:[ ("epoch", string_of_int epoch) ]
+                    (Printf.sprintf "epoch %d" epoch)
+                in
+                let out =
+                  List.map (wrap_env epoch)
+                    (party.Party.step ~round:local ~inbox:(unwrap_inbox epoch inbox))
+                in
+                Sb_obs.Trace_ctx.end_span sp;
+                out
+              end
+              else
+                List.map (wrap_env epoch)
+                  (party.Party.step ~round:local ~inbox:(unwrap_inbox epoch inbox))
             in
             if local = base_rounds then begin
               (* Epoch complete: read the announced vector. *)

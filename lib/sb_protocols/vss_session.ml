@@ -109,7 +109,16 @@ let my_share_valid t =
       t.my_share_ok <- Some ok;
       ok
 
-let step t ~round ~inbox =
+(* Trace_ctx phase names for the local rounds (see the mli round
+   glossary); sessions driven past round 3 show up as vss.idle. *)
+let phase_name = function
+  | 0 -> "vss.deal"
+  | 1 -> "vss.verify"
+  | 2 -> "vss.complain"
+  | 3 -> "vss.judge"
+  | _ -> "vss.idle"
+
+let step_impl t ~round ~inbox =
   match round with
   | 0 -> (
       (* Deal: broadcast commitment, send shares point-to-point. *)
@@ -186,6 +195,15 @@ let step t ~round ~inbox =
             set_my_share t (List.assoc_opt t.me responses));
       []
   | _ -> []
+
+let step t ~round ~inbox =
+  if Sb_obs.Trace_ctx.enabled () then begin
+    let sp = Sb_obs.Trace_ctx.begin_span ~cat:"phase" (phase_name round) in
+    let out = step_impl t ~round ~inbox in
+    Sb_obs.Trace_ctx.end_span sp;
+    out
+  end
+  else step_impl t ~round ~inbox
 
 let disqualified t = t.disqualified
 

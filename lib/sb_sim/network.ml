@@ -27,6 +27,17 @@ let m_bytes_p2p = Sb_obs.Metrics.counter "sim.bytes.p2p"
 let m_forged = Sb_obs.Metrics.counter "sim.forgeries_dropped"
 let h_round_us = Sb_obs.Metrics.histogram "sim.round_duration_us"
 
+(* Aggregate throughput gauges, recomputed at every run completion
+   from the cumulative counters and the cumulative in-run wall clock
+   (itself a gauge, so Metrics.reset rebases the rates too). The
+   mutex serialises the read-modify-write of the wall total across
+   sampler domains. *)
+let g_wall = Sb_obs.Metrics.gauge "sim.run_wall_s_total"
+let g_sessions_ps = Sb_obs.Metrics.gauge "sim.sessions_per_sec"
+let g_msgs_ps = Sb_obs.Metrics.gauge "sim.msgs_per_sec"
+let g_bytes_ps = Sb_obs.Metrics.gauge "sim.bytes_per_sec"
+let wall_lock = Mutex.create ()
+
 let count_channels envs =
   (* (broadcast, p2p) among party-sourced traffic; ideal-channel
      envelopes are counted separately under sim.envelopes.func. *)
@@ -117,24 +128,95 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
      the only thing kept. *)
   let p2p_count = ref 0 in
   Sb_obs.Metrics.incr m_runs;
+  let metrics_run = Sb_obs.Metrics.enabled () in
+  let run_t0 = if metrics_run then Unix.gettimeofday () else 0.0 in
+  (* Causal tracing (Trace_ctx): off by default, one boolean load here.
+     When enabled, this run becomes one session span tree — session ->
+     round -> {collect/rush/intercept/route} phases -> party — plus a
+     flow edge per delivered envelope from the span that sent it into
+     the round span that delivers it. Like metrics, none of this
+     touches the split RNG streams. *)
+  let tracing = Sb_obs.Trace_ctx.enabled () in
+  let s_session =
+    if tracing then
+      Sb_obs.Trace_ctx.begin_session protocol.name
+        ~args:
+          [
+            ("protocol", protocol.name);
+            ("n", string_of_int n);
+            ("thresh", string_of_int ctx.thresh);
+            ("corrupted", string_of_int (List.length corrupted));
+          ]
+    else Sb_obs.Trace_ctx.none
+  in
+  let party_span =
+    if tracing then Array.make n Sb_obs.Trace_ctx.none else [||]
+  in
+  (* Sender spans of envelopes routed into the next round; when that
+     round's span opens these become its incoming flow edges. *)
+  let pending : Sb_obs.Trace_ctx.h list ref = ref [] in
   for round = 0 to total_rounds do
     let metrics_on = Sb_obs.Metrics.enabled () in
     let t0 = if metrics_on then Unix.gettimeofday () else 0.0 in
     let inbox_router = !mailboxes in
     let last = round = total_rounds in
+    let s_round =
+      if tracing then begin
+        let s =
+          Sb_obs.Trace_ctx.begin_span ~agg:"round" ~cat:"round"
+            ~args:[ ("round", string_of_int round) ]
+            (Printf.sprintf "round %d" round)
+        in
+        List.iter (fun src -> Sb_obs.Trace_ctx.flow ~src ~dst:s) !pending;
+        pending := [];
+        s
+      end
+      else Sb_obs.Trace_ctx.none
+    in
     (* 1. Deliver + collect: honest parties step on their mailboxes. *)
     let honest_out =
-      List.concat_map
-        (fun (id, party) ->
-          let out = party.Party.step ~round ~inbox:(Router.inbox inbox_router id) in
-          (* Authenticated channels: an honest party only speaks as itself. *)
-          List.iter (fun e -> assert (Envelope.src_is e id)) out;
-          out)
-        parties
+      if tracing then begin
+        let s_collect =
+          Sb_obs.Trace_ctx.begin_span ~agg:"collect" ~cat:"phase" "collect"
+        in
+        let out =
+          List.concat_map
+            (fun (id, party) ->
+              let sp =
+                Sb_obs.Trace_ctx.begin_span ~agg:"party" ~cat:"party"
+                  ~args:[ ("id", string_of_int id) ]
+                  (Printf.sprintf "P%d" id)
+              in
+              party_span.(id) <- sp;
+              let inbox =
+                Sb_obs.Trace_ctx.with_span ~agg:"deliver" ~cat:"phase" "deliver"
+                  (fun () -> Router.inbox inbox_router id)
+              in
+              let out = party.Party.step ~round ~inbox in
+              List.iter (fun e -> assert (Envelope.src_is e id)) out;
+              Sb_obs.Trace_ctx.end_span sp;
+              out)
+            parties
+        in
+        Sb_obs.Trace_ctx.end_span s_collect;
+        out
+      end
+      else
+        List.concat_map
+          (fun (id, party) ->
+            let out = party.Party.step ~round ~inbox:(Router.inbox inbox_router id) in
+            (* Authenticated channels: an honest party only speaks as itself. *)
+            List.iter (fun e -> assert (Envelope.src_is e id)) out;
+            out)
+          parties
     in
     (* 2. Rush: the adversary sees same-round honest traffic — minus
        the ideal channel to the functionality — plus everything the
        router delivered to the corrupted set this round. *)
+    let s_rush =
+      if tracing then Sb_obs.Trace_ctx.begin_span ~agg:"rush" ~cat:"phase" "rush"
+      else Sb_obs.Trace_ctx.none
+    in
     let rushed = List.filter (fun e -> not (Envelope.is_func_bound e)) honest_out in
     let delivered = Router.delivered_to_any inbox_router corrupted in
     let adv_out_raw = strategy.Adversary.act { round; delivered; rushed } in
@@ -145,20 +227,31 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
           match Envelope.src_party e with Some i -> is_corrupt.(i) | None -> false)
         adv_out_raw
     in
+    Sb_obs.Trace_ctx.end_span s_rush;
     (* 3. Intercept: fault injection at the delivery queue. Crashed
        senders are silenced (even towards the functionality),
        lossy/partitioned links drop, delayed envelopes are re-injected
        in a later round. Everything above this point saw the traffic
        as sent; the interceptor always receives the full flattened
        queue, before any routing. *)
+    let s_intercept =
+      if tracing then
+        Sb_obs.Trace_ctx.begin_span ~agg:"intercept" ~cat:"phase" "intercept"
+      else Sb_obs.Trace_ctx.none
+    in
     let all_out = if last then [] else honest_out @ adv_out in
     let all_out =
       match intercept with None -> all_out | Some f -> f ~round all_out
     in
+    Sb_obs.Trace_ctx.end_span s_intercept;
     (* 4. Route: the functionality consumes Func-bound traffic of this
        round, then the queue — party traffic first, then the
        functionality's replies — is dispatched into the next round's
        mailboxes. *)
+    let s_route =
+      if tracing then Sb_obs.Trace_ctx.begin_span ~agg:"route" ~cat:"phase" "route"
+      else Sb_obs.Trace_ctx.none
+    in
     let func_in = List.filter Envelope.is_func_bound all_out in
     let func_out = functionality.Functionality.f_step ~round ~inbox:func_in in
     List.iter (fun e -> assert (Envelope.is_from_func e)) func_out;
@@ -194,13 +287,54 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
       (fun e -> if not (Envelope.is_func_bound e) then Router.route next e)
       all_out;
     Router.route_all next func_out;
+    Sb_obs.Trace_ctx.end_span s_route;
+    if tracing && not last then begin
+      (* One causal edge per delivered envelope: sender span -> next
+         round's span. Honest senders resolve to their party span,
+         corrupted senders to the rush phase (where the adversary
+         spoke), functionality replies to the route phase (where the
+         functionality stepped). *)
+      let src_of e =
+        match Envelope.src_party e with
+        | Some i when not is_corrupt.(i) -> party_span.(i)
+        | Some _ -> s_rush
+        | None -> s_route
+      in
+      List.iter
+        (fun e ->
+          if not (Envelope.is_func_bound e) then pending := src_of e :: !pending)
+        all_out;
+      List.iter (fun _ -> pending := s_route :: !pending) func_out
+    end;
     staging := inbox_router;
     mailboxes := next;
+    Sb_obs.Trace_ctx.end_span s_round;
     if record_trace && not last then
       trace :=
         { Trace.round; honest_sent = honest_out; adv_sent = adv_out; func_sent = func_out }
         :: !trace
   done;
+  if tracing then begin
+    pending := [];
+    Sb_obs.Trace_ctx.end_span s_session
+  end;
+  if metrics_run && Sb_obs.Metrics.enabled () then begin
+    (* Fold this run's wall time into the cumulative total and refresh
+       the throughput gauges from the cumulative counters. Gauges are
+       wall-clock derived and therefore not part of the deterministic
+       counter surface. *)
+    let wall = Unix.gettimeofday () -. run_t0 in
+    Mutex.lock wall_lock;
+    let total = Sb_obs.Metrics.gauge_value g_wall +. wall in
+    Sb_obs.Metrics.set g_wall total;
+    if total > 0.0 then begin
+      let c m = float_of_int (Sb_obs.Metrics.counter_value m) in
+      Sb_obs.Metrics.set g_sessions_ps (c m_runs /. total);
+      Sb_obs.Metrics.set g_msgs_ps ((c m_bcast +. c m_p2p) /. total);
+      Sb_obs.Metrics.set g_bytes_ps ((c m_bytes_bcast +. c m_bytes_p2p) /. total)
+    end;
+    Mutex.unlock wall_lock
+  end;
   let trace = List.rev !trace in
   if Sb_obs.Sink.attached () > 0 then
     Sb_obs.Event.emit "network.run"

@@ -1,0 +1,200 @@
+(* End-to-end tests against the built simbcast binary (path in
+   argv.(1)): strict argument parsing (no subcommand may silently
+   accept trailing junk), traced-run output validity, report inertness
+   under tracing at jobs 1 and 2, perf-diff exit codes, and the
+   profile subcommand. *)
+
+open Sb_obs
+
+let simbcast = ref ""
+
+(* cmdliner's exit code for a command-line parse error. *)
+let cli_error = 124
+
+let command ?out args =
+  let redirect = match out with None -> "/dev/null" | Some f -> Filename.quote f in
+  Sys.command
+    (Printf.sprintf "%s %s > %s 2>&1" (Filename.quote !simbcast)
+       (String.concat " " (List.map Filename.quote args))
+       redirect)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let parse_file path =
+  match Json.of_string (read_file path) with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" path e
+
+let write_file path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let temp name = Filename.temp_file "simbcast_cli" name
+
+(* --- strict argument parsing --------------------------------------- *)
+
+let test_trailing_args_rejected () =
+  List.iter
+    (fun args ->
+      Alcotest.(check int)
+        ("rejects: " ^ String.concat " " args)
+        cli_error (command args))
+    [
+      [ "list"; "junk" ];
+      [ "run"; "bracha"; "junk" ];
+      [ "run"; "--bogus-flag" ];
+      [ "classify"; "junk" ];
+      [ "exact"; "junk" ];
+      [ "test"; "junk" ];
+      [ "experiment"; "e1"; "junk" ];
+      [ "fault-sweep"; "junk" ];
+      [ "profile"; "e1"; "junk" ];
+      [ "perf-diff"; "a.json"; "b.json"; "junk" ];
+      [ "perf-diff"; "only-one.json" ];
+      [ "profile" ];
+    ]
+
+(* --- traced run ----------------------------------------------------- *)
+
+let test_run_trace_output () =
+  let trace = temp ".trace.json" in
+  Alcotest.(check int) "traced run exits 0" 0
+    (command [ "run"; "bracha"; "-n"; "8"; "--seed"; "3"; "--trace"; trace ]);
+  let v = parse_file trace in
+  let events = Option.bind (Json.member "traceEvents" v) Json.to_list_opt |> Option.get in
+  let ph e = Option.bind (Json.member "ph" e) Json.to_str_opt in
+  let count p = List.length (List.filter (fun e -> ph e = Some p) events) in
+  Alcotest.(check bool) "span events present" true (count "X" > 0);
+  Alcotest.(check bool) "flow events present" true (count "s" > 0);
+  Alcotest.(check int) "flow starts pair with finishes" (count "s") (count "f");
+  let cats =
+    List.filter_map (fun e -> Option.bind (Json.member "cat" e) Json.to_str_opt) events
+  in
+  List.iter
+    (fun c -> Alcotest.(check bool) (c ^ " cat present") true (List.mem c cats))
+    [ "session"; "round"; "party"; "phase" ];
+  Sys.remove trace
+
+(* --- tracing leaves reports unchanged ------------------------------- *)
+
+(* The deterministic surface of a run report: experiment outcomes
+   (minus wall clock), the comm totals, and the metric counters.
+   Gauges, histograms and the trace block are wall-clock derived, and
+   the par.domain<k>.samples counters record which pool domain drained
+   which chunk — scheduling accounting that varies between identical
+   runs (the submitting domain competes with the workers), so they are
+   excluded too. *)
+let deterministic_subset json =
+  let strip_wall = function
+    | Json.Obj kvs -> Json.Obj (List.filter (fun (k, _) -> k <> "wall_clock_s") kvs)
+    | other -> other
+  in
+  let exps =
+    match Option.bind (Json.member "experiments" json) Json.to_list_opt with
+    | Some l -> Json.List (List.map strip_wall l)
+    | None -> Json.Null
+  in
+  let comm = Option.value ~default:Json.Null (Json.member "comm" json) in
+  let counters =
+    match Option.bind (Json.member "metrics" json) (Json.member "counters") with
+    | Some (Json.Obj kvs) ->
+        Json.Obj
+          (List.filter (fun (k, _) -> not (String.starts_with ~prefix:"par.domain" k)) kvs)
+    | _ -> Json.Null
+  in
+  Json.to_string (Json.List [ exps; comm; counters ])
+
+let test_trace_keeps_reports_identical () =
+  List.iter
+    (fun jobs ->
+      let plain = temp ".plain.json" and traced = temp ".traced.json" in
+      let trace = temp ".trace.json" in
+      let base = [ "experiment"; "e6"; "--quick"; "--jobs"; string_of_int jobs ] in
+      Alcotest.(check int) "plain run exits 0" 0 (command (base @ [ "--report"; plain ]));
+      Alcotest.(check int) "traced run exits 0" 0
+        (command (base @ [ "--report"; traced; "--trace"; trace ]));
+      Alcotest.(check string)
+        (Printf.sprintf "deterministic report surface identical at jobs %d" jobs)
+        (deterministic_subset (parse_file plain))
+        (deterministic_subset (parse_file traced));
+      (* The traced report carries the v3 trace block; the plain one
+         doesn't. *)
+      Alcotest.(check bool) "trace block only when traced" true
+        (Json.member "trace" (parse_file traced) <> None
+        && Json.member "trace" (parse_file plain) = None);
+      List.iter Sys.remove [ plain; traced; trace ])
+    [ 1; 2 ]
+
+(* --- perf-diff ------------------------------------------------------- *)
+
+let report_json timings =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema_version", Json.Int Report.schema_version);
+         ("tag", Json.Str "cli-test");
+         ( "timings",
+           Json.List
+             (List.map
+                (fun (name, ns) ->
+                  Json.Obj
+                    [
+                      ("name", Json.Str name);
+                      ("ns_per_run", Json.Float ns);
+                      ("r_square", Json.Float 1.0);
+                    ])
+                timings) );
+       ])
+
+let test_perf_diff_exit_codes () =
+  let base = temp ".base.json" in
+  let within = temp ".within.json" in
+  let regressed = temp ".regressed.json" in
+  let missing = temp ".missing.json" in
+  write_file base (report_json [ ("gtester-smoke/20k", 1e6); ("crypto/pow_g", 500.0) ]);
+  write_file within (report_json [ ("gtester-smoke/20k", 1.1e6); ("crypto/pow_g", 480.0) ]);
+  write_file regressed (report_json [ ("gtester-smoke/20k", 1.5e6); ("crypto/pow_g", 480.0) ]);
+  write_file missing (report_json [ ("crypto/pow_g", 480.0) ]);
+  Alcotest.(check int) "within threshold passes" 0 (command [ "perf-diff"; base; within ]);
+  Alcotest.(check int) "synthetic regression fails" 1 (command [ "perf-diff"; base; regressed ]);
+  Alcotest.(check int) "missing baseline entry fails" 1 (command [ "perf-diff"; base; missing ]);
+  Alcotest.(check int) "tighter threshold flips the verdict" 1
+    (command [ "perf-diff"; base; within; "--threshold"; "0.05" ]);
+  Alcotest.(check int) "--match can scope the regression away" 0
+    (command [ "perf-diff"; base; regressed; "--match"; "crypto/" ]);
+  Alcotest.(check int) "no matching entries is an error" cli_error
+    (command [ "perf-diff"; base; within; "--match"; "nonexistent/" ]);
+  List.iter Sys.remove [ base; within; regressed; missing ]
+
+(* --- profile --------------------------------------------------------- *)
+
+let test_profile_runs () =
+  let out = temp ".profile.out" in
+  Alcotest.(check int) "profile exits 0" 0
+    (command ~out [ "profile"; "e6"; "--quick"; "--top"; "5" ]);
+  let printed = read_file out in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "prints the attribution table" true
+    (contains printed "phase-time attribution");
+  Alcotest.(check bool) "prints flame paths" true (contains printed "/round/");
+  Sys.remove out
+
+let () =
+  (if Array.length Sys.argv < 2 then (
+     prerr_endline "usage: test_cli SIMBCAST_BINARY";
+     exit 2));
+  simbcast := Sys.argv.(1);
+  Alcotest.run ~argv:[| "test_cli" |] "simbcast_cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "trailing args rejected" `Quick test_trailing_args_rejected;
+          Alcotest.test_case "traced run emits valid trace JSON" `Quick test_run_trace_output;
+          Alcotest.test_case "tracing keeps reports identical (jobs 1, 2)" `Quick
+            test_trace_keeps_reports_identical;
+          Alcotest.test_case "perf-diff exit codes" `Quick test_perf_diff_exit_codes;
+          Alcotest.test_case "profile prints attribution" `Quick test_profile_runs;
+        ] );
+    ]

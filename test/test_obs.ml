@@ -238,6 +238,106 @@ let test_event_emission () =
           | Error e -> Alcotest.fail e)
       | lines -> Alcotest.failf "expected 1 line, got %d" (List.length lines))
 
+let seq_of_line line =
+  match Json.of_string line with
+  | Ok v -> Option.bind (Json.member "seq" v) Json.to_int_opt |> Option.get
+  | Error e -> Alcotest.fail e
+
+let test_event_seq_monotone_under_domains () =
+  (* Worker domains emitting concurrently must never duplicate or skip
+     a sequence number: the collected seqs are exactly 1..N. *)
+  with_obs (fun () ->
+      Event.reset ();
+      let sink, read = Sink.memory () in
+      Sink.attach sink;
+      let pool = Sb_par.Pool.create ~domains:3 () in
+      let chunks = Array.init 8 Fun.id in
+      ignore
+        (Sb_par.Pool.map_chunks pool
+           ~f:(fun c ->
+             for i = 0 to 24 do
+               Event.emit
+                 ~fields:[ ("chunk", Json.Int c); ("i", Json.Int i) ]
+                 "unit.par"
+             done;
+             c)
+           chunks);
+      Sb_par.Pool.shutdown pool;
+      let total = 8 * 25 in
+      Alcotest.(check int) "seq advanced once per emit" total (Event.seq ());
+      let seqs = List.sort Int.compare (List.map seq_of_line (read ())) in
+      Alcotest.(check int) "every line delivered" total (List.length seqs);
+      Alcotest.(check (list int)) "seqs are exactly 1..N" (List.init total (fun i -> i + 1))
+        seqs)
+
+let test_sink_fanout_under_domains () =
+  (* Every attached sink receives every line, even when emissions come
+     from several worker domains at once. *)
+  with_obs (fun () ->
+      Event.reset ();
+      let sink_a, read_a = Sink.memory () in
+      let sink_b, read_b = Sink.memory () in
+      Sink.attach sink_a;
+      Sink.attach sink_b;
+      let pool = Sb_par.Pool.create ~domains:3 () in
+      ignore
+        (Sb_par.Pool.map_chunks pool
+           ~f:(fun c ->
+             for _ = 1 to 10 do
+               Event.emit ~fields:[ ("chunk", Json.Int c) ] "unit.fanout"
+             done;
+             c)
+           (Array.init 6 Fun.id));
+      Sb_par.Pool.shutdown pool;
+      let a = List.sort String.compare (read_a ()) in
+      let b = List.sort String.compare (read_b ()) in
+      Alcotest.(check int) "sink a got all lines" 60 (List.length a);
+      Alcotest.(check (list string)) "both sinks saw the same lines" a b)
+
+let test_histogram_bucket_mismatch_warns_once () =
+  with_obs (fun () ->
+      let sink, read = Sink.memory () in
+      Sink.attach sink;
+      let h = Metrics.histogram ~buckets:[| 1.0; 2.0; 3.0 |] "t.mismatch" in
+      let h' = Metrics.histogram ~buckets:[| 5.0; 50.0 |] "t.mismatch" in
+      Alcotest.(check bool) "existing histogram returned" true (h == h');
+      ignore (Metrics.histogram ~buckets:[| 7.0 |] "t.mismatch");
+      ignore (Metrics.histogram ~buckets:[| 1.0; 2.0; 3.0 |] "t.mismatch");
+      ignore (Metrics.histogram "t.mismatch");
+      let mismatches =
+        List.filter_map
+          (fun line ->
+            match Json.of_string line with
+            | Ok v
+              when Option.bind (Json.member "ev" v) Json.to_str_opt
+                   = Some "metrics.bucket_mismatch" ->
+                Some v
+            | _ -> None)
+          (read ())
+      in
+      (match mismatches with
+      | [ ev ] ->
+          Alcotest.(check (option string)) "names the histogram" (Some "t.mismatch")
+            (Option.bind (Json.member "name" ev) Json.to_str_opt);
+          Alcotest.(check (option int)) "registered bucket count" (Some 3)
+            (Option.bind (Json.member "registered_buckets" ev) Json.to_int_opt);
+          Alcotest.(check (option int)) "requested bucket count" (Some 2)
+            (Option.bind (Json.member "requested_buckets" ev) Json.to_int_opt)
+      | evs -> Alcotest.failf "expected exactly 1 mismatch event, got %d" (List.length evs));
+      (* reset rearms the warning. *)
+      Metrics.reset ();
+      ignore (Metrics.histogram ~buckets:[| 9.0 |] "t.mismatch");
+      let after =
+        List.filter (fun l -> String.length l > 0) (read ())
+        |> List.filter (fun line ->
+               match Json.of_string line with
+               | Ok v ->
+                   Option.bind (Json.member "ev" v) Json.to_str_opt
+                   = Some "metrics.bucket_mismatch"
+               | Error _ -> false)
+      in
+      Alcotest.(check int) "reset rearms the one-shot" 2 (List.length after))
+
 (* --- the simulator under instrumentation --------------------------- *)
 
 let fixture_protocol = Sb_protocols.Gennaro.protocol
@@ -363,7 +463,16 @@ let () =
           Alcotest.test_case "shape and reparse" `Quick test_report_shape;
           Alcotest.test_case "validate rejects" `Quick test_report_validate_rejects;
         ] );
-      ("event", [ Alcotest.test_case "emission to memory sink" `Quick test_event_emission ]);
+      ( "event",
+        [
+          Alcotest.test_case "emission to memory sink" `Quick test_event_emission;
+          Alcotest.test_case "seq monotone under worker domains" `Quick
+            test_event_seq_monotone_under_domains;
+          Alcotest.test_case "sink fan-out under worker domains" `Quick
+            test_sink_fanout_under_domains;
+          Alcotest.test_case "histogram bucket mismatch warns once" `Quick
+            test_histogram_bucket_mismatch_warns_once;
+        ] );
       ( "simulator",
         [
           Alcotest.test_case "instrumentation is inert" `Quick test_instrumentation_is_inert;
