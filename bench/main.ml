@@ -200,7 +200,7 @@ let print_comm () =
 
 let usage () =
   prerr_endline
-    "usage: bench [quick] [timing|tables] [EXPERIMENT_ID...] [--csv=DIR] [--jobs=N]";
+    "usage: bench [quick] [timing|tables] [EXPERIMENT_ID...] [--csv=DIR] [--jobs=N] [--count=N]";
   Printf.eprintf "known experiment ids: %s\n"
     (String.concat " "
        (List.map (fun (e : Core.Experiments.entry) -> e.Core.Experiments.id)
@@ -225,6 +225,22 @@ let () =
       exit 2
   | Some j -> Sb_par.Pool.set_default_domains j
   | None -> ());
+  (* Sessions-probe batch size; same validation contract as --jobs. *)
+  let count_prefix = "--count=" in
+  let count_of a =
+    let pl = String.length count_prefix in
+    if String.length a > pl && String.sub a 0 pl = count_prefix then
+      int_of_string_opt (String.sub a pl (String.length a - pl))
+    else None
+  in
+  let session_count =
+    match List.find_map count_of args with
+    | Some c when c <= 0 ->
+        Printf.eprintf "bench: --count must be a positive integer, got %d\n" c;
+        exit 2
+    | Some c -> c
+    | None -> 120
+  in
   let quick = List.mem "quick" args in
   let setup =
     if quick then Core.Setup.with_samples 2000 Core.Setup.default else Core.Setup.default
@@ -237,7 +253,7 @@ let () =
       (fun a ->
         a <> "quick" && a <> "timing" && a <> "tables"
         && not (String.length a > 6 && String.sub a 0 6 = "--csv=")
-        && jobs_of a = None)
+        && jobs_of a = None && count_of a = None)
       args
   in
   (* Reject anything unrecognised up front instead of silently treating
@@ -263,7 +279,8 @@ let () =
   let crypto_timings = Crypto.run () in
   Crypto.print_summary crypto_timings;
   (match !csv_dir with Some dir -> Crypto.write_csv dir crypto_timings | None -> ());
-  let timings = timings @ [ run_gtester_smoke () ] @ crypto_timings in
+  let session_timings, sessions_block = Sessions.run ~count:session_count () in
+  let timings = timings @ [ run_gtester_smoke () ] @ crypto_timings @ session_timings in
   print_comm ();
   let tag =
     if quick then "quick"
@@ -287,7 +304,7 @@ let () =
   let report =
     Sb_obs.Report.make ~tool:"bench" ~tag
       ~jobs:(Sb_par.Pool.get_default_domains ())
-      ~experiments ~timings ()
+      ~experiments ~timings ?sessions:sessions_block ()
   in
   let path = Printf.sprintf "BENCH_%s.json" tag in
   Sb_obs.Report.write_file path report;

@@ -186,7 +186,7 @@ let setup_obs ?trace metrics report =
 
 (* Instrumentation never touches the split RNG streams, so the printed
    protocol outputs are identical with or without these flags. *)
-let finish_obs ?(experiments = []) ?trace ~tag metrics report =
+let finish_obs ?(experiments = []) ?trace ?sessions ~tag metrics report =
   (match trace with
   | None -> ()
   | Some file -> (
@@ -208,7 +208,7 @@ let finish_obs ?(experiments = []) ?trace ~tag metrics report =
       let report =
         Sb_obs.Report.make ~tool:"simbcast" ~tag
           ~jobs:(Sb_par.Pool.get_default_domains ())
-          ~experiments ?trace:trace_block ()
+          ~experiments ?trace:trace_block ?sessions ()
       in
       try
         Sb_obs.Report.write_file file report;
@@ -712,6 +712,115 @@ let profile_cmd =
           Perfetto trace")
     Term.(ret (const run $ id_arg $ quick_arg $ top_arg $ trace_arg $ jobs_arg))
 
+(* --- sessions -------------------------------------------------------- *)
+
+let sessions_cmd =
+  let protos_arg =
+    let doc =
+      "Comma-separated protocol names; the session budget is split evenly across them \
+       (earlier protocols absorb the remainder)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOLS" ~doc)
+  in
+  let count_arg =
+    let doc = "Total number of sessions to run (must be positive)." in
+    Arg.(value & opt int 256 & info [ "count" ] ~doc ~docv:"N")
+  in
+  let session_log_arg =
+    let doc =
+      "Write one JSON object per session (JSON Lines) to $(docv) — byte-identical at \
+       every --jobs value."
+    in
+    Arg.(value & opt (some string) None & info [ "session-log" ] ~doc ~docv:"FILE")
+  in
+  let run pnames count n thresh seed dname metrics report session_log jobs =
+    (* Match bench's contract for batch-size validation: a non-positive
+       --count is a usage error with exit 2 (cmdliner's own parse
+       failures exit 124, so this needs an explicit check). *)
+    if count <= 0 then begin
+      Printf.eprintf "simbcast: --count must be a positive integer, got %d\n" count;
+      exit 2
+    end;
+    setup_obs metrics report;
+    (* Comm totals and throughput rates come off the sim.* counter
+       deltas, so the engine needs metrics on even without --metrics;
+       the summary table still prints only when asked for. *)
+    Sb_obs.Metrics.set_enabled true;
+    setup_jobs jobs;
+    let names = List.filter (fun s -> s <> "") (String.split_on_char ',' pnames) in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+          match protocol_of_name name with
+          | Ok p -> resolve (p :: acc) rest
+          | Error e -> Error e)
+    in
+    match (resolve [] names, dist_of_name dname n) with
+    | Error e, _ | _, Error e -> fail "%s" e
+    | Ok [], _ -> fail "no protocol names given"
+    | Ok protocols, Ok dist ->
+        let open Sb_session in
+        let thresh = resolve_thresh n thresh in
+        let setup = Core.Setup.{ default with n; thresh; seed } in
+        let k = List.length protocols in
+        let base = count / k and extra = count mod k in
+        let specs =
+          List.filteri
+            (fun i _ -> base > 0 || i < extra)
+            (List.mapi
+               (fun i protocol ->
+                 { Engine.protocol; count = (base + if i < extra then 1 else 0) })
+               protocols)
+        in
+        let agg, reports = Engine.run ~setup ~dist specs (Sb_util.Rng.create seed) in
+        Printf.printf "sessions   : %d total, %d consistent, %d shards\n"
+          agg.Engine.sessions agg.Engine.consistent agg.Engine.shards;
+        Printf.printf "protocols  : %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (s : Engine.spec) ->
+                  Printf.sprintf "%s x%d" s.protocol.Sb_sim.Protocol.name s.count)
+                specs));
+        Printf.printf "comm       : %d broadcasts (%d B), %d p2p (%d B)\n"
+          agg.Engine.broadcasts agg.Engine.broadcast_bytes agg.Engine.p2p
+          agg.Engine.p2p_bytes;
+        (* The only wall-clock-derived line; CI's jobs-invariance diff
+           filters it (everything above is deterministic). *)
+        Printf.printf "throughput : %.1f sessions/s, %.1f msgs/s, %.1f B/s (wall %.3fs)\n"
+          agg.Engine.sessions_per_sec agg.Engine.msgs_per_sec agg.Engine.bytes_per_sec
+          agg.Engine.wall_s;
+        (match session_log with
+        | None -> ()
+        | Some file -> (
+            try
+              let oc = open_out file in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  Array.iter
+                    (fun r ->
+                      output_string oc
+                        (Sb_obs.Json.to_string (Engine.session_report_to_json r));
+                      output_char oc '\n')
+                    reports);
+              Printf.printf "wrote %s\n" file
+            with Sys_error msg ->
+              Printf.eprintf "simbcast: cannot write session log: %s\n" msg;
+              exit 1));
+        finish_obs ~tag:"sessions" ~sessions:(Engine.aggregate_to_json agg) metrics report;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "sessions"
+       ~doc:
+         "Run a batch of whole protocol sessions sharded across the domain pool — \
+          shared per-shard setup, per-session RNG streams, aggregate throughput in the \
+          report's sessions block; results are byte-identical at every --jobs value")
+    Term.(
+      ret
+        (const run $ protos_arg $ count_arg $ n_arg $ thresh_arg $ seed_arg $ dist_arg
+       $ metrics_arg $ report_arg $ session_log_arg $ jobs_arg))
+
 (* --- perf-diff -------------------------------------------------------- *)
 
 let perf_diff_cmd =
@@ -815,5 +924,6 @@ let () =
             experiment_cmd;
             fault_sweep_cmd;
             profile_cmd;
+            sessions_cmd;
             perf_diff_cmd;
           ]))

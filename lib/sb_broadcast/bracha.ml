@@ -1,6 +1,20 @@
 open Sb_sim
+open Sb_util
 
 let default = Msg.Bit false
+
+(* Per-round bookkeeping is Bitvec-backed: one "already heard an echo /
+   ready from this party" membership vector per message kind (the seed
+   kept a per-source hashtable and re-counted it for every candidate
+   value, an O(parties) scan per quorum check per round), plus one
+   tally record per distinct value in first-seen order. Quorum checks
+   are then integer compares. Distinct values stay unique in practice:
+   echoes and readies are recorded at most once per source, so two
+   values can never both reach the echo quorum ceil((n+t+1)/2), and a
+   ready candidate needs an honest ready, which itself roots in an
+   echo quorum — test_broadcast.ml checks the refactor differentially
+   against a pinned copy of the seed implementation. *)
+type tally = { v : Msg.t; mutable echoes : int; mutable readies : int }
 
 let scheme =
   {
@@ -12,8 +26,12 @@ let scheme =
         let n = ctx.Ctx.n in
         let t = ctx.Ctx.thresh in
         let echo_quorum = (n + t + 2) / 2 (* ceil((n+t+1)/2) *) in
-        let echoes : (int, Msg.t) Hashtbl.t = Hashtbl.create 8 in
-        let readies : (int, Msg.t) Hashtbl.t = Hashtbl.create 8 in
+        (* Receive sets: which parties' echo/ready has been counted.
+           First message per source wins, as in the seed. *)
+        let echo_seen = ref (Bitvec.zero n) in
+        let ready_seen = ref (Bitvec.zero n) in
+        (* Distinct values with their tallies, oldest first. *)
+        let tallies : tally list ref = ref [] in
         let echoed = ref false in
         let ready_sent = ref false in
         let wrap m = Session.wrap ~sid m in
@@ -22,38 +40,45 @@ let scheme =
             (fun (e : Envelope.t) -> { e with Envelope.body = wrap e.Envelope.body })
             (Envelope.to_all ~n ~src:me m)
         in
-        let count table v =
-          Hashtbl.fold (fun _ m acc -> if Msg.equal m v then acc + 1 else acc) table 0
-        in
-        let values table =
-          let seen = Hashtbl.create 4 in
-          Hashtbl.iter (fun _ m -> Hashtbl.replace seen (Msg.serialize m) m) table;
-          Hashtbl.fold (fun _ m acc -> m :: acc) seen []
+        let tally_for v =
+          match List.find_opt (fun s -> Msg.equal s.v v) !tallies with
+          | Some s -> s
+          | None ->
+              let s = { v; echoes = 0; readies = 0 } in
+              tallies := !tallies @ [ s ];
+              s
         in
         let record inbox =
           List.iter
             (fun (e : Envelope.t) ->
               match (Envelope.src_party e, Session.unwrap ~sid e.Envelope.body) with
               | Some src, Some (Msg.Tag ("br-echo", v)) ->
-                  if not (Hashtbl.mem echoes src) then Hashtbl.replace echoes src v
+                  if not (Bitvec.get !echo_seen src) then begin
+                    echo_seen := Bitvec.set !echo_seen src true;
+                    let s = tally_for v in
+                    s.echoes <- s.echoes + 1
+                  end
               | Some src, Some (Msg.Tag ("br-ready", v)) ->
-                  if not (Hashtbl.mem readies src) then Hashtbl.replace readies src v
+                  if not (Bitvec.get !ready_seen src) then begin
+                    ready_seen := Bitvec.set !ready_seen src true;
+                    let s = tally_for v in
+                    s.readies <- s.readies + 1
+                  end
               | _ -> ())
             inbox
         in
         let maybe_ready () =
           if !ready_sent then []
           else
-            let candidates =
-              List.filter
-                (fun v -> count echoes v >= echo_quorum || count readies v >= t + 1)
-                (values echoes @ values readies)
-            in
-            match candidates with
-            | v :: _ ->
+            match
+              List.find_opt
+                (fun s -> s.echoes >= echo_quorum || s.readies >= t + 1)
+                !tallies
+            with
+            | Some s ->
                 ready_sent := true;
-                send_all (Msg.Tag ("br-ready", v))
-            | [] -> []
+                send_all (Msg.Tag ("br-ready", s.v))
+            | None -> []
         in
         let step ~round ~inbox =
           record inbox;
@@ -83,8 +108,8 @@ let scheme =
           | _ -> []
         in
         let result () =
-          match List.find_opt (fun v -> count readies v >= (2 * t) + 1) (values readies) with
-          | Some v -> v
+          match List.find_opt (fun s -> s.readies >= (2 * t) + 1) !tallies with
+          | Some s -> s.v
           | None -> default
         in
         { Session.step; result });

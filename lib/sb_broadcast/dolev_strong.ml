@@ -1,4 +1,5 @@
 open Sb_sim
+open Sb_util
 
 let default = Msg.Bit false
 
@@ -20,6 +21,21 @@ let decode m =
       if List.length decoded = List.length sigs then Some (v, decoded) else None
   | _ -> None
 
+(* The signer set of a chain as a Bitvec, or [None] if any signer
+   index is duplicated or out of range. One pass replaces the seed's
+   sort_uniq-based distinctness check plus two list scans (sender
+   membership, own-signature lookup); an out-of-range signer made the
+   seed's signature verification fail, so collapsing it into [None]
+   keeps chain validity decisions identical. *)
+let chain_signers ~n chain =
+  let rec go acc = function
+    | [] -> Some acc
+    | (i, _) :: rest ->
+        if i < 0 || i >= n || Bitvec.get acc i then None
+        else go (Bitvec.set acc i true) rest
+  in
+  go (Bitvec.zero n) chain
+
 let scheme =
   {
     Session.scheme_name = "dolev-strong";
@@ -33,31 +49,32 @@ let scheme =
         let accepted : Msg.t list ref = ref [] in
         (* Values to relay next round, with their signature sets. *)
         let outbox : (Msg.t * (int * string) list) list ref = ref [] in
-        let valid_chain ~need v chain =
-          (* Signatures are prepended as the value travels, so the
-             sender's signature sits at the tail of the chain. *)
-          let signers = List.map fst chain in
-          List.length chain >= need
-          && List.mem sender signers
-          && List.length (List.sort_uniq Int.compare signers) = List.length signers
-          && List.for_all
-               (fun (i, s) -> Sb_crypto.Sig.verify sigs ~signer:i (base ~sid v) s)
-               chain
+        let valid_sigs v chain =
+          List.for_all
+            (fun (i, s) -> Sb_crypto.Sig.verify sigs ~signer:i (base ~sid v) s)
+            chain
         in
         let process ~round inbox =
           List.iter
             (fun (e : Envelope.t) ->
               match Option.bind (Session.unwrap ~sid e.Envelope.body) decode with
-              | Some (v, chain)
-                when valid_chain ~need:round v chain
-                     && (not (List.exists (Msg.equal v) !accepted))
-                     && List.length !accepted < 2 ->
-                  accepted := v :: !accepted;
-                  if round <= t && not (List.exists (fun (i, _) -> i = me) chain) then
-                    outbox :=
-                      (v, (me, Sb_crypto.Sig.sign sigs ~signer:me (base ~sid v)) :: chain)
-                      :: !outbox
-              | _ -> ())
+              | Some (v, chain) -> (
+                  (* Signatures are prepended as the value travels, so
+                     the sender's signature sits at the tail. *)
+                  match chain_signers ~n chain with
+                  | Some signers
+                    when List.length chain >= round
+                         && Bitvec.get signers sender
+                         && valid_sigs v chain
+                         && (not (List.exists (Msg.equal v) !accepted))
+                         && List.length !accepted < 2 ->
+                      accepted := v :: !accepted;
+                      if round <= t && not (Bitvec.get signers me) then
+                        outbox :=
+                          (v, (me, Sb_crypto.Sig.sign sigs ~signer:me (base ~sid v)) :: chain)
+                          :: !outbox
+                  | _ -> ())
+              | None -> ())
             inbox
         in
         let step ~round ~inbox =

@@ -1,4 +1,4 @@
-let schema_version = 3
+let schema_version = 4
 
 type experiment_entry = {
   id : string;
@@ -44,7 +44,7 @@ let comm_to_json () =
     ]
 
 let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings = [])
-    ?trace () =
+    ?trace ?sessions () =
   Json.Obj
     ([
        ("schema_version", Json.Int schema_version);
@@ -59,6 +59,7 @@ let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings
     @ (if timings = [] then []
        else [ ("timings", Json.List (List.map timing_to_json timings)) ])
     @ (match trace with None -> [] | Some t -> [ ("trace", t) ])
+    @ (match sessions with None -> [] | Some s -> [ ("sessions", s) ])
     @ [ ("metrics", Metrics.to_json ()); ("spans", Span.to_json ()) ])
 
 let write_file path json =
@@ -119,6 +120,39 @@ let validate json =
             Ok ())
           (Ok ())
           [ "sessions_traced"; "sessions_total"; "spans"; "flows" ]
+  in
+  (* Schema v4: the sessions block is optional (only session-engine
+     runs carry it); when present it must carry the batch totals. *)
+  let* () =
+    match Json.member "sessions" json with
+    | None -> Ok ()
+    | Some s ->
+        let* () =
+          List.fold_left
+            (fun acc field ->
+              let* () = acc in
+              let* v = require ("sessions missing " ^ field) (Json.member field s) in
+              let* _ = require ("sessions " ^ field ^ " not an int") (Json.to_int_opt v) in
+              Ok ())
+            (Ok ())
+            [
+              "sessions";
+              "consistent";
+              "shards";
+              "broadcasts";
+              "p2p_messages";
+              "broadcast_bytes";
+              "p2p_bytes";
+            ]
+        in
+        List.fold_left
+          (fun acc field ->
+            let* () = acc in
+            let* v = require ("sessions missing " ^ field) (Json.member field s) in
+            let* _ = require ("sessions " ^ field ^ " not numeric") (Json.to_float_opt v) in
+            Ok ())
+          (Ok ())
+          [ "sessions_per_sec"; "msgs_per_sec"; "bytes_per_sec" ]
   in
   Ok ()
 

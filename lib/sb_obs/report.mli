@@ -26,6 +26,7 @@ val make :
   ?experiments:experiment_entry list ->
   ?timings:timing_entry list ->
   ?trace:Json.t ->
+  ?sessions:Json.t ->
   unit ->
   Json.t
 (** Assembles the report from the given outcomes plus
@@ -42,7 +43,12 @@ val make :
 
     Since schema v3 a traced run ([--trace]) additionally carries an
     optional ["trace"] object — normally {!Perfetto.summary} — with
-    integer [sessions_traced], [sessions_total], [spans], [flows]. *)
+    integer [sessions_traced], [sessions_total], [spans], [flows].
+
+    Since schema v4 a session-engine run ([simbcast sessions], the
+    bench sessions probe) additionally carries an optional
+    ["sessions"] object — batch totals plus throughput rates,
+    normally [Sb_session.Engine.aggregate_to_json]. *)
 
 val write_file : string -> Json.t -> unit
 (** Pretty-printed, trailing newline. *)
@@ -50,9 +56,11 @@ val write_file : string -> Json.t -> unit
 val validate : Json.t -> (unit, string) result
 (** Structural check: schema_version matches, the experiments array is
     well-formed (id/ok/wall_clock_s present), the [comm] object carries
-    all four integer totals, metrics object present, and the optional
-    [trace] block (v3) carries its four integer counts when present.
-    Used by tests and the CI smoke step. *)
+    all four integer totals, metrics object present, the optional
+    [trace] block (v3) carries its four integer counts when present,
+    and the optional [sessions] block (v4) carries its integer totals
+    and numeric rates when present. Used by tests and the CI smoke
+    step. *)
 
 type perf_delta = {
   name : string;  (** timing entry name, e.g. ["gtester-smoke/20k"] *)

@@ -1,0 +1,184 @@
+open Sb_util
+open Sb_sim
+
+type spec = { protocol : Protocol.t; count : int }
+
+type session_report = {
+  index : int;
+  shard : int;
+  protocol : string;
+  x : Bitvec.t;
+  w : Bitvec.t;
+  consistent : bool;
+  rounds : int;
+  p2p : int;
+}
+
+type aggregate = {
+  sessions : int;
+  consistent : int;
+  shards : int;
+  per_shard : int array;
+  broadcasts : int;
+  p2p : int;
+  broadcast_bytes : int;
+  p2p_bytes : int;
+  wall_s : float;
+  sessions_per_sec : float;
+  msgs_per_sec : float;
+  bytes_per_sec : float;
+}
+
+(* Deterministic batch counters; the per-shard counters are keyed by
+   shard index (fixed layout), not by pool domain, so they are part of
+   the jobs-invariant surface alongside exp.* and sim.*. *)
+let m_sessions = Sb_obs.Metrics.counter "session.sessions"
+let m_consistent = Sb_obs.Metrics.counter "session.consistent"
+
+(* Wall-clock-derived rates: visibility only, never diffed. *)
+let g_wall = Sb_obs.Metrics.gauge "session.batch_wall_s"
+let g_sessions_ps = Sb_obs.Metrics.gauge "session.sessions_per_sec"
+let g_msgs_ps = Sb_obs.Metrics.gauge "session.msgs_per_sec"
+let g_bytes_ps = Sb_obs.Metrics.gauge "session.bytes_per_sec"
+
+let shard_counter k = Sb_obs.Metrics.counter (Printf.sprintf "session.shard%d.sessions" k)
+
+let comm_snapshot () =
+  let c name = Sb_obs.Metrics.counter_value (Sb_obs.Metrics.counter name) in
+  (c "sim.broadcasts", c "sim.p2p", c "sim.bytes.broadcast", c "sim.bytes.p2p")
+
+(* Global session index -> protocol, via the cumulative spec bounds. *)
+let protocol_at specs =
+  let specs = Array.of_list specs in
+  let bounds = Array.make (Array.length specs + 1) 0 in
+  Array.iteri (fun k s -> bounds.(k + 1) <- bounds.(k) + s.count) specs;
+  let rec find k i = if i < bounds.(k + 1) then specs.(k).protocol else find (k + 1) i in
+  (find 0, bounds.(Array.length specs))
+
+let consistent_w ~n outputs =
+  let vectors = List.map (fun (_, m) -> Core.Announced.to_vector n m) outputs in
+  match vectors with
+  | [] -> (Bitvec.zero n, false)
+  | Some first :: rest ->
+      (first, List.for_all (function Some v -> Bitvec.equal v first | None -> false) rest)
+  | None :: _ -> (Bitvec.zero n, false)
+
+let run ?pool ?(adversary = Core.Adversaries.passive) ~setup ~dist specs rng =
+  if specs = [] then invalid_arg "Engine.run: empty spec list";
+  List.iter
+    (fun s -> if s.count <= 0 then invalid_arg "Engine.run: spec count must be positive")
+    specs;
+  let pool = match pool with Some p -> p | None -> Sb_par.Pool.default () in
+  let n = setup.Core.Setup.n in
+  let protocol_of, total = protocol_at specs in
+  (* Master-stream discipline: two pre-split children per session
+     (input draw, execution) first, then one stream per shard for the
+     shared context — all pure functions of the session count, so any
+     pool size replays the same bytes. *)
+  let streams = Sb_par.Partition.streams rng ~total ~draws_per_item:2 in
+  let shards = Shard.layout ~total ~rng in
+  let comm0 = comm_snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let per_shard_reports =
+    Sb_par.Pool.map_chunks pool shards ~f:(fun (shard : Shard.t) ->
+        (* Built once per shard, shared by every session in it: the
+           signature registry, commitment scheme and CRS of the
+           context (the expensive per-run setup the samplers pay on
+           every execution). *)
+        let ctx = Shard.context setup shard in
+        let reports =
+          Array.init shard.Shard.len (fun j ->
+              let i = shard.Shard.lo + j in
+              let protocol = protocol_of i in
+              let x = Sb_dist.Dist.sample dist streams.(2 * i) in
+              let inputs = Array.init n (fun p -> Msg.Bit (Bitvec.get x p)) in
+              let r =
+                Network.run ctx ~rng:streams.((2 * i) + 1) ~protocol ~adversary ~inputs
+                  ~record_trace:false ()
+              in
+              let w, consistent = consistent_w ~n r.Network.outputs in
+              {
+                index = i;
+                shard = shard.Shard.index;
+                protocol = protocol.Protocol.name;
+                x;
+                w;
+                consistent;
+                rounds = r.Network.rounds_used;
+                p2p = r.Network.p2p_messages;
+              })
+        in
+        if Sb_obs.Metrics.enabled () then begin
+          Sb_obs.Metrics.incr ~by:shard.Shard.len (shard_counter shard.Shard.index);
+          Core.Announced.note_domain_samples shard.Shard.len
+        end;
+        reports)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let bc0, p2p0, bcb0, p2pb0 = comm0 in
+  let bc1, p2p1, bcb1, p2pb1 = comm_snapshot () in
+  let reports = Array.concat (Array.to_list per_shard_reports) in
+  let consistent =
+    Array.fold_left
+      (fun acc (r : session_report) -> if r.consistent then acc + 1 else acc)
+      0 reports
+  in
+  let broadcasts = bc1 - bc0
+  and p2p = p2p1 - p2p0
+  and broadcast_bytes = bcb1 - bcb0
+  and p2p_bytes = p2pb1 - p2pb0 in
+  let rate v = if wall_s > 0.0 then float_of_int v /. wall_s else 0.0 in
+  let aggregate =
+    {
+      sessions = total;
+      consistent;
+      shards = Array.length shards;
+      per_shard = Array.map (fun (s : Shard.t) -> s.Shard.len) shards;
+      broadcasts;
+      p2p;
+      broadcast_bytes;
+      p2p_bytes;
+      wall_s;
+      sessions_per_sec = rate total;
+      msgs_per_sec = rate (broadcasts + p2p);
+      bytes_per_sec = rate (broadcast_bytes + p2p_bytes);
+    }
+  in
+  if Sb_obs.Metrics.enabled () then begin
+    Sb_obs.Metrics.incr ~by:total m_sessions;
+    Sb_obs.Metrics.incr ~by:consistent m_consistent;
+    Sb_obs.Metrics.set g_wall (Sb_obs.Metrics.gauge_value g_wall +. wall_s);
+    Sb_obs.Metrics.set g_sessions_ps aggregate.sessions_per_sec;
+    Sb_obs.Metrics.set g_msgs_ps aggregate.msgs_per_sec;
+    Sb_obs.Metrics.set g_bytes_ps aggregate.bytes_per_sec
+  end;
+  (aggregate, reports)
+
+let session_report_to_json r =
+  Sb_obs.Json.Obj
+    [
+      ("session", Sb_obs.Json.Int r.index);
+      ("shard", Sb_obs.Json.Int r.shard);
+      ("protocol", Sb_obs.Json.Str r.protocol);
+      ("x", Sb_obs.Json.Str (Bitvec.to_string r.x));
+      ("w", Sb_obs.Json.Str (Bitvec.to_string r.w));
+      ("consistent", Sb_obs.Json.Bool r.consistent);
+      ("rounds", Sb_obs.Json.Int r.rounds);
+      ("p2p", Sb_obs.Json.Int r.p2p);
+    ]
+
+let aggregate_to_json a =
+  Sb_obs.Json.Obj
+    [
+      ("sessions", Sb_obs.Json.Int a.sessions);
+      ("consistent", Sb_obs.Json.Int a.consistent);
+      ("shards", Sb_obs.Json.Int a.shards);
+      ("broadcasts", Sb_obs.Json.Int a.broadcasts);
+      ("p2p_messages", Sb_obs.Json.Int a.p2p);
+      ("broadcast_bytes", Sb_obs.Json.Int a.broadcast_bytes);
+      ("p2p_bytes", Sb_obs.Json.Int a.p2p_bytes);
+      ("wall_s", Sb_obs.Json.Float a.wall_s);
+      ("sessions_per_sec", Sb_obs.Json.Float a.sessions_per_sec);
+      ("msgs_per_sec", Sb_obs.Json.Float a.msgs_per_sec);
+      ("bytes_per_sec", Sb_obs.Json.Float a.bytes_per_sec);
+    ]

@@ -1,0 +1,84 @@
+(** Sharded multi-session throughput engine.
+
+    Everything else in the repository executes one protocol session
+    per [Network.run] and parallelises only per-sample inside a
+    tester. This engine schedules *whole sessions* — thousands of
+    independent protocol executions, possibly of different protocols —
+    across a fixed {!Sb_par.Pool} of domains, in {!Shard.width}
+    contiguous shards. Each shard builds its execution context
+    (signature registry, commitment scheme, CRS) once and reuses it
+    for every session it owns; each session draws its input and its
+    execution randomness from pre-split per-session RNG streams
+    ({!Sb_util.Rng.split_n} via {!Sb_par.Partition.streams}), so the
+    per-session reports and every deterministic aggregate are
+    byte-identical at every pool size, including 1.
+
+    Aggregate throughput is wired through [sb_obs]: the deterministic
+    counters [session.sessions], [session.consistent] and the
+    per-shard [session.shard<k>.sessions], plus the wall-clock-derived
+    gauges [session.sessions_per_sec], [session.msgs_per_sec],
+    [session.bytes_per_sec] and [session.batch_wall_s] (gauges are
+    not part of the deterministic surface). Message/byte totals are
+    read as deltas of the network's [sim.*] counters and therefore
+    require metrics to be enabled; with metrics off they report 0. *)
+
+type spec = { protocol : Sb_sim.Protocol.t; count : int }
+(** [count] sessions of [protocol]; must be positive. *)
+
+type session_report = {
+  index : int;  (** global session index, [0 .. total-1] *)
+  shard : int;  (** shard that owned this session *)
+  protocol : string;
+  x : Sb_util.Bitvec.t;  (** input vector drawn from the batch dist *)
+  w : Sb_util.Bitvec.t;  (** announced vector (any honest party) *)
+  consistent : bool;  (** all honest output vectors equal *)
+  rounds : int;
+  p2p : int;  (** point-to-point envelopes sent in this session *)
+}
+
+type aggregate = {
+  sessions : int;
+  consistent : int;
+  shards : int;
+  per_shard : int array;  (** sessions per shard, deterministic *)
+  broadcasts : int;  (** [sim.*] counter deltas; 0 when metrics are off *)
+  p2p : int;
+  broadcast_bytes : int;
+  p2p_bytes : int;
+  wall_s : float;  (** wall-clock of the pooled section; not deterministic *)
+  sessions_per_sec : float;
+  msgs_per_sec : float;
+  bytes_per_sec : float;
+}
+
+val run :
+  ?pool:Sb_par.Pool.t ->
+  ?adversary:Sb_sim.Adversary.t ->
+  setup:Core.Setup.t ->
+  dist:Sb_dist.Dist.t ->
+  spec list ->
+  Sb_util.Rng.t ->
+  aggregate * session_report array
+(** [run ~setup ~dist specs rng] executes every session of [specs]
+    (in spec order: sessions [0 .. c0-1] run the first protocol, and
+    so on), sharded across [pool] (default {!Sb_par.Pool.default}).
+    Sessions run against [adversary] (default
+    {!Core.Adversaries.passive}) on inputs drawn per-session from
+    [dist]. The report array is indexed by global session index.
+
+    Determinism: session [i]'s input and execution generators are
+    streams [2i] and [2i+1] of the master, and the shard layout is a
+    pure function of the session count, so the reports and every
+    deterministic [aggregate] field are independent of the pool size.
+    Raises [Invalid_argument] on an empty spec list or a non-positive
+    count. *)
+
+val session_report_to_json : session_report -> Sb_obs.Json.t
+(** One flat object per session — the JSONL row format of
+    [simbcast sessions --session-log]: [session], [shard],
+    [protocol], [x], [w] (bit strings), [consistent], [rounds],
+    [p2p]. Byte-identical across pool sizes. *)
+
+val aggregate_to_json : aggregate -> Sb_obs.Json.t
+(** The report's [sessions] block (schema v4): session/shard totals,
+    the comm deltas, and the throughput rates. *)

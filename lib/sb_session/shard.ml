@@ -1,0 +1,18 @@
+let width = 32
+
+type t = {
+  index : int;
+  lo : int;
+  len : int;
+  rng : Sb_util.Rng.t;
+}
+
+let layout ~total ~rng =
+  let chunks = Sb_par.Partition.chunks ~total ~jobs:width in
+  let streams = Sb_util.Rng.split_n rng (Array.length chunks) in
+  Array.mapi
+    (fun k (c : Sb_par.Partition.chunk) ->
+      { index = k; lo = c.Sb_par.Partition.lo; len = c.Sb_par.Partition.len; rng = streams.(k) })
+    chunks
+
+let context setup shard = Core.Setup.fresh_ctx setup (Sb_util.Rng.split shard.rng)

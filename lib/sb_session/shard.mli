@@ -1,0 +1,37 @@
+(** Fixed shard layout for the session engine.
+
+    A batch of [total] protocol sessions is cut into at most {!width}
+    contiguous shards. The layout depends only on [total] — never on
+    the pool size — so shard-local state (the shared {!Sb_sim.Ctx.t},
+    per-shard RNG streams, per-shard counters) is identical at every
+    [--jobs] value; the pool merely decides which domain happens to
+    drive which shard.
+
+    Each shard owns one execution context built once from the shard's
+    own RNG stream and reused by every session in the shard: the
+    signature registry (PKI), the commitment-scheme instance, and the
+    CRS are shared across the shard's sessions instead of regenerated
+    per [Network.run] (the Pedersen/Feldman group parameters and the
+    fixed-base exponentiation tables are module-global already). *)
+
+val width : int
+(** Maximum number of shards per batch (32) — the same fixed fan-out
+    constant the Monte-Carlo samplers use, several shards per worker
+    at every realistic pool size. *)
+
+type t = {
+  index : int;  (** shard number, [0 .. shards-1] *)
+  lo : int;  (** first global session index owned by this shard *)
+  len : int;  (** number of sessions in this shard *)
+  rng : Sb_util.Rng.t;  (** shard-local stream (context build, spares) *)
+}
+
+val layout : total:int -> rng:Sb_util.Rng.t -> t array
+(** [layout ~total ~rng] covers sessions [0 .. total-1] with at most
+    {!width} contiguous shards whose sizes differ by at most one, each
+    holding its own child stream of [rng] ([Rng.split_n], so shard
+    [k]'s stream is a pure function of [rng]'s [k]-th output). *)
+
+val context : Core.Setup.t -> t -> Sb_sim.Ctx.t
+(** The shard's shared execution context, drawn from the shard
+    stream. Call once per shard, inside the worker. *)

@@ -47,6 +47,8 @@ let test_trailing_args_rejected () =
       [ "experiment"; "e1"; "junk" ];
       [ "fault-sweep"; "junk" ];
       [ "profile"; "e1"; "junk" ];
+      [ "sessions"; "bracha"; "junk" ];
+      [ "sessions" ];
       [ "perf-diff"; "a.json"; "b.json"; "junk" ];
       [ "perf-diff"; "only-one.json" ];
       [ "profile" ];
@@ -164,6 +166,60 @@ let test_perf_diff_exit_codes () =
     (command [ "perf-diff"; base; within; "--match"; "nonexistent/" ]);
   List.iter Sys.remove [ base; within; regressed; missing ]
 
+(* --- sessions -------------------------------------------------------- *)
+
+let test_sessions_count_validation () =
+  (* Non-positive --count is a usage error with exit 2, matching the
+     bench harness's contract for its own --count/--jobs — distinct
+     from cmdliner's 124 for unparseable arguments. *)
+  Alcotest.(check int) "count 0 exits 2" 2 (command [ "sessions"; "bracha"; "--count"; "0" ]);
+  Alcotest.(check int) "negative count exits 2" 2
+    (command [ "sessions"; "bracha"; "--count=-4" ])
+
+let test_sessions_jobs_invariant () =
+  (* End-to-end jobs-invariance: stdout minus the wall-clock-derived
+     throughput line, the JSONL session log, and the report's sessions
+     block (minus wall_s and the rates) are identical at jobs 1 and 2. *)
+  let run jobs =
+    let out = temp ".sessions.out" and log = temp ".sessions.jsonl" in
+    let report = temp ".sessions.json" in
+    Alcotest.(check int)
+      (Printf.sprintf "sessions exits 0 at jobs %d" jobs)
+      0
+      (command ~out
+         [
+           "sessions"; "bracha,commit-open"; "--count"; "24"; "--seed"; "5";
+           "--jobs"; string_of_int jobs; "--session-log"; log; "--report"; report;
+         ]);
+    let stdout_det =
+      String.concat "\n"
+        (List.filter
+           (fun l ->
+             not
+               (String.starts_with ~prefix:"throughput" l
+               || String.starts_with ~prefix:"wrote " l))
+           (String.split_on_char '\n' (read_file out)))
+    in
+    let sessions_block =
+      match Json.member "sessions" (parse_file report) with
+      | Some (Json.Obj kvs) ->
+          Json.to_string
+            (Json.Obj
+               (List.filter
+                  (fun (k, _) ->
+                    k <> "wall_s" && not (String.ends_with ~suffix:"_per_sec" k))
+                  kvs))
+      | _ -> Alcotest.fail "report lacks a sessions block"
+    in
+    let log_contents = read_file log in
+    List.iter Sys.remove [ out; log; report ];
+    (stdout_det, log_contents, sessions_block)
+  in
+  let o1, l1, s1 = run 1 and o2, l2, s2 = run 2 in
+  Alcotest.(check string) "stdout jobs-invariant" o1 o2;
+  Alcotest.(check string) "session log jobs-invariant" l1 l2;
+  Alcotest.(check string) "sessions block jobs-invariant" s1 s2
+
 (* --- profile --------------------------------------------------------- *)
 
 let test_profile_runs () =
@@ -195,6 +251,10 @@ let () =
           Alcotest.test_case "tracing keeps reports identical (jobs 1, 2)" `Quick
             test_trace_keeps_reports_identical;
           Alcotest.test_case "perf-diff exit codes" `Quick test_perf_diff_exit_codes;
+          Alcotest.test_case "sessions --count validation" `Quick
+            test_sessions_count_validation;
+          Alcotest.test_case "sessions jobs-invariant (jobs 1, 2)" `Quick
+            test_sessions_jobs_invariant;
           Alcotest.test_case "profile prints attribution" `Quick test_profile_runs;
         ] );
     ]

@@ -441,6 +441,330 @@ let test_window () =
   in
   Alcotest.(check (pair int int)) "concurrent window" (0, 2) (lo, hi)
 
+(* --- differential: Bitvec hot paths vs the seed implementations ----- *)
+
+(* Pinned copies of the pre-Bitvec Bracha and Dolev-Strong sessions
+   (hashtable receive sets re-counted per candidate; list-scan signer
+   chains). The library rewrote those hot paths over Sb_util.Bitvec;
+   these copies replay the same adversarial traffic through the old
+   code so any semantic drift shows up as an output mismatch. *)
+module Seed_bracha = struct
+  module Session = Sb_broadcast.Session
+
+  let default = Msg.Bit false
+
+  let scheme =
+    {
+      Session.scheme_name = "bracha-seed";
+      rounds = (fun _ -> 4);
+      create =
+        (fun ctx ~rng:_ ~sid ~sender ~me ~value ->
+          assert ((me = sender) = Option.is_some value);
+          let n = ctx.Ctx.n in
+          let t = ctx.Ctx.thresh in
+          let echo_quorum = (n + t + 2) / 2 in
+          let echoes : (int, Msg.t) Hashtbl.t = Hashtbl.create 8 in
+          let readies : (int, Msg.t) Hashtbl.t = Hashtbl.create 8 in
+          let echoed = ref false in
+          let ready_sent = ref false in
+          let wrap m = Session.wrap ~sid m in
+          let send_all m =
+            List.map
+              (fun (e : Envelope.t) -> { e with Envelope.body = wrap e.Envelope.body })
+              (Envelope.to_all ~n ~src:me m)
+          in
+          let count table v =
+            Hashtbl.fold (fun _ m acc -> if Msg.equal m v then acc + 1 else acc) table 0
+          in
+          let values table =
+            let seen = Hashtbl.create 4 in
+            Hashtbl.iter (fun _ m -> Hashtbl.replace seen (Msg.serialize m) m) table;
+            Hashtbl.fold (fun _ m acc -> m :: acc) seen []
+          in
+          let record inbox =
+            List.iter
+              (fun (e : Envelope.t) ->
+                match (Envelope.src_party e, Session.unwrap ~sid e.Envelope.body) with
+                | Some src, Some (Msg.Tag ("br-echo", v)) ->
+                    if not (Hashtbl.mem echoes src) then Hashtbl.replace echoes src v
+                | Some src, Some (Msg.Tag ("br-ready", v)) ->
+                    if not (Hashtbl.mem readies src) then Hashtbl.replace readies src v
+                | _ -> ())
+              inbox
+          in
+          let maybe_ready () =
+            if !ready_sent then []
+            else
+              let candidates =
+                List.filter
+                  (fun v -> count echoes v >= echo_quorum || count readies v >= t + 1)
+                  (values echoes @ values readies)
+              in
+              match candidates with
+              | v :: _ ->
+                  ready_sent := true;
+                  send_all (Msg.Tag ("br-ready", v))
+              | [] -> []
+          in
+          let step ~round ~inbox =
+            record inbox;
+            match round with
+            | 0 -> (
+                match value with
+                | Some v -> send_all (Msg.Tag ("br-init", v))
+                | None -> [])
+            | 1 ->
+                if not !echoed then begin
+                  let init =
+                    List.find_map
+                      (fun (e : Envelope.t) ->
+                        match (Envelope.src_party e, Session.unwrap ~sid e.Envelope.body) with
+                        | Some src, Some (Msg.Tag ("br-init", v)) when src = sender -> Some v
+                        | _ -> None)
+                      inbox
+                  in
+                  match init with
+                  | Some v ->
+                      echoed := true;
+                      send_all (Msg.Tag ("br-echo", v))
+                  | None -> []
+                end
+                else []
+            | 2 | 3 -> maybe_ready ()
+            | _ -> []
+          in
+          let result () =
+            match
+              List.find_opt (fun v -> count readies v >= (2 * t) + 1) (values readies)
+            with
+            | Some v -> v
+            | None -> default
+          in
+          { Session.step; result });
+    }
+end
+
+module Seed_dolev_strong = struct
+  module Session = Sb_broadcast.Session
+
+  let default = Msg.Bit false
+  let base ~sid v = "ds:" ^ sid ^ ":" ^ Msg.serialize v
+
+  let encode v sigs =
+    Msg.List
+      [ v; Msg.List (List.map (fun (i, s) -> Msg.List [ Msg.Int i; Msg.Str s ]) sigs) ]
+
+  let decode m =
+    match m with
+    | Msg.List [ v; Msg.List sigs ] ->
+        let decode_sig = function
+          | Msg.List [ Msg.Int i; Msg.Str s ] -> Some (i, s)
+          | _ -> None
+        in
+        let decoded = List.filter_map decode_sig sigs in
+        if List.length decoded = List.length sigs then Some (v, decoded) else None
+    | _ -> None
+
+  let scheme =
+    {
+      Session.scheme_name = "dolev-strong-seed";
+      rounds = (fun ctx -> ctx.Ctx.thresh + 1);
+      create =
+        (fun ctx ~rng:_ ~sid ~sender ~me ~value ->
+          assert ((me = sender) = Option.is_some value);
+          let n = ctx.Ctx.n in
+          let t = ctx.Ctx.thresh in
+          let sigs = ctx.Ctx.sigs in
+          let accepted : Msg.t list ref = ref [] in
+          let outbox : (Msg.t * (int * string) list) list ref = ref [] in
+          let valid_chain ~need v chain =
+            let signers = List.map fst chain in
+            List.length chain >= need
+            && List.mem sender signers
+            && List.length (List.sort_uniq Int.compare signers) = List.length signers
+            && List.for_all
+                 (fun (i, s) -> Sb_crypto.Sig.verify sigs ~signer:i (base ~sid v) s)
+                 chain
+          in
+          let process ~round inbox =
+            List.iter
+              (fun (e : Envelope.t) ->
+                match Option.bind (Session.unwrap ~sid e.Envelope.body) decode with
+                | Some (v, chain)
+                  when valid_chain ~need:round v chain
+                       && (not (List.exists (Msg.equal v) !accepted))
+                       && List.length !accepted < 2 ->
+                    accepted := v :: !accepted;
+                    if round <= t && not (List.exists (fun (i, _) -> i = me) chain) then
+                      outbox :=
+                        (v, (me, Sb_crypto.Sig.sign sigs ~signer:me (base ~sid v)) :: chain)
+                        :: !outbox
+                | _ -> ())
+              inbox
+          in
+          let step ~round ~inbox =
+            process ~round inbox;
+            if round = 0 then begin
+              match value with
+              | Some v ->
+                  accepted := [ v ];
+                  let chain = [ (me, Sb_crypto.Sig.sign sigs ~signer:me (base ~sid v)) ] in
+                  List.map
+                    (fun (e : Envelope.t) ->
+                      { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
+                    (Envelope.to_all ~n ~src:me (encode v chain))
+              | None -> []
+            end
+            else begin
+              let out =
+                List.concat_map
+                  (fun (v, chain) ->
+                    List.map
+                      (fun (e : Envelope.t) ->
+                        { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
+                      (Envelope.to_all ~n ~src:me (encode v chain)))
+                  !outbox
+              in
+              outbox := [];
+              out
+            end
+          in
+          let result () = match !accepted with [ v ] -> v | _ -> default in
+          { Session.step; result });
+    }
+end
+
+(* One deterministic adversarial scenario: everything (context,
+   network schedule, adversarial traffic) is derived from [seed]
+   alone, so running two schemes under the same seed feeds them
+   identical traffic and their honest outputs must match exactly. *)
+let differential_outputs scheme ~sender ~adv ~seed =
+  let ctx = Ctx.make ~rng:(Sb_util.Rng.create (70000 + seed)) ~n:5 ~thresh:1 ~k:8 () in
+  let inputs = Array.init 5 (fun i -> Msg.Bit ((seed + i) mod 2 = 0)) in
+  let r =
+    Network.run ctx
+      ~rng:(Sb_util.Rng.create (80000 + seed))
+      ~protocol:(session_protocol scheme ~sender) ~adversary:(adv ~seed) ~inputs ()
+  in
+  List.map (fun (id, m) -> (id, Msg.serialize m)) r.Network.outputs
+
+(* Chaos traffic for Bracha: the corrupted party floods randomly
+   chosen br-echo / br-ready messages over several distinct values
+   (including non-Bit ones), per destination, so the receive sets see
+   duplicate sources, equivocation and multi-candidate tallies. When
+   it is the sender it also equivocates br-init per destination. *)
+let bracha_chaos ~corrupt ~seed =
+  {
+    Adversary.name = "bracha-chaos";
+    choose_corrupt = (fun _ ~rng:_ -> [ corrupt ]);
+    init =
+      (fun ctx ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+        let arng = Sb_util.Rng.create (90000 + seed) in
+        {
+          Adversary.act =
+            (fun view ->
+              let round = view.Adversary.round in
+              let chaos () =
+                List.concat
+                  (List.init ctx.Ctx.n (fun dst ->
+                       List.init 2 (fun _ ->
+                           let tag =
+                             if Sb_util.Rng.bool arng then "br-echo" else "br-ready"
+                           in
+                           let v =
+                             match Sb_util.Rng.int arng 3 with
+                             | 0 -> Msg.Bit true
+                             | 1 -> Msg.Bit false
+                             | _ -> Msg.Int (Sb_util.Rng.int arng 4)
+                           in
+                           Envelope.make ~src:corrupt ~dst
+                             (Sb_broadcast.Session.wrap ~sid:"test" (Msg.Tag (tag, v))))))
+              in
+              if round = 0 then
+                List.init ctx.Ctx.n (fun dst ->
+                    Envelope.make ~src:corrupt ~dst
+                      (Sb_broadcast.Session.wrap ~sid:"test"
+                         (Msg.Tag ("br-init", Msg.Bit (dst mod 2 = 0)))))
+              else if round <= 3 then chaos ()
+              else []);
+          adv_output = (fun () -> Msg.Unit);
+        });
+  }
+
+(* Chaos traffic for Dolev-Strong: competing values under every chain
+   shape the acceptance predicate discriminates on — valid two-chains,
+   duplicate signers, out-of-range signers, a chain missing the
+   sender, and a chain whose sender signature was computed under the
+   wrong key. *)
+let ds_chaos ~seed =
+  {
+    Adversary.name = "ds-chaos";
+    choose_corrupt = (fun _ ~rng:_ -> [ 4 ]);
+    init =
+      (fun ctx ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+        let arng = Sb_util.Rng.create (95000 + seed) in
+        let sigs = ctx.Ctx.sigs in
+        {
+          Adversary.act =
+            (fun view ->
+              if view.Adversary.round < 1 then []
+              else
+                List.concat
+                  (List.init 3 (fun _ ->
+                       let v = Msg.Bit (Sb_util.Rng.bool arng) in
+                       let base = "ds:test:" ^ Msg.serialize v in
+                       let good i =
+                         Msg.List
+                           [ Msg.Int i; Msg.Str (Sb_crypto.Sig.sign sigs ~signer:i base) ]
+                       in
+                       let chain =
+                         match Sb_util.Rng.int arng 5 with
+                         | 0 -> [ good 4; good 0 ]
+                         | 1 -> [ good 4; good 4; good 0 ]
+                         | 2 -> [ Msg.List [ Msg.Int 9; Msg.Str "zz" ]; good 0 ]
+                         | 3 -> [ good 4 ]
+                         | _ ->
+                             [
+                               Msg.List
+                                 [
+                                   Msg.Int 0;
+                                   Msg.Str (Sb_crypto.Sig.sign sigs ~signer:4 base);
+                                 ];
+                               good 4;
+                             ]
+                       in
+                       Envelope.to_all ~n:ctx.Ctx.n ~src:4
+                         (Sb_broadcast.Session.wrap ~sid:"test"
+                            (Msg.List [ v; Msg.List chain ])))));
+          adv_output = (fun () -> Msg.Unit);
+        });
+  }
+
+let outputs_t = Alcotest.(list (pair int string))
+
+let test_bracha_differential () =
+  for seed = 1 to 25 do
+    (* Corrupted non-sender flooding chaos. *)
+    Alcotest.check outputs_t "bracha vs seed (chaotic echoer)"
+      (differential_outputs Seed_bracha.scheme ~sender:0 ~adv:(bracha_chaos ~corrupt:4)
+         ~seed)
+      (differential_outputs Sb_broadcast.Bracha.scheme ~sender:0
+         ~adv:(bracha_chaos ~corrupt:4) ~seed);
+    (* Corrupted sender: equivocating init plus chaos. *)
+    Alcotest.check outputs_t "bracha vs seed (chaotic sender)"
+      (differential_outputs Seed_bracha.scheme ~sender:0 ~adv:(bracha_chaos ~corrupt:0)
+         ~seed)
+      (differential_outputs Sb_broadcast.Bracha.scheme ~sender:0
+         ~adv:(bracha_chaos ~corrupt:0) ~seed)
+  done
+
+let test_dolev_strong_differential () =
+  for seed = 1 to 25 do
+    Alcotest.check outputs_t "dolev-strong vs seed (chain chaos)"
+      (differential_outputs Seed_dolev_strong.scheme ~sender:0 ~adv:ds_chaos ~seed)
+      (differential_outputs Sb_broadcast.Dolev_strong.scheme ~sender:0 ~adv:ds_chaos ~seed)
+  done
+
 let () =
   let scheme_cases name scheme =
     [
@@ -465,6 +789,13 @@ let () =
           Alcotest.test_case "eig with two corruptions" `Quick test_eig_two_corruptions;
           Alcotest.test_case "bracha silence defaults" `Quick test_bracha_no_quorum_defaults;
           Alcotest.test_case "spoofed sources counted" `Quick test_spoofed_sources_counted;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "bracha bitvec = seed semantics" `Quick
+            test_bracha_differential;
+          Alcotest.test_case "dolev-strong bitvec = seed semantics" `Quick
+            test_dolev_strong_differential;
         ] );
       ( "phase-king",
         [

@@ -1,0 +1,134 @@
+(* Tests for sb_session: the sharded whole-session scheduler.
+
+   The load-bearing property is the determinism contract: per-session
+   reports and every deterministic aggregate field are byte-identical
+   at every pool size (the shard layout and the RNG streams are pure
+   functions of the session count and the master seed). The pool only
+   decides which domain drives which shard. *)
+
+open Sb_session
+
+let substrate name = List.assoc name (Core.Resilience.substrates ())
+
+let setup = Core.Setup.{ default with n = 5; thresh = 2; seed = 33 }
+let dist = Sb_dist.Dist.uniform 5
+
+let mixed_specs =
+  [
+    { Engine.protocol = substrate "concurrent-bracha"; count = 17 };
+    { Engine.protocol = substrate "concurrent-dolev-strong"; count = 11 };
+    { Engine.protocol = Sb_protocols.Commit_open.protocol; count = 7 };
+  ]
+
+let run_with_jobs specs jobs =
+  let pool = Sb_par.Pool.create ~domains:jobs () in
+  Fun.protect
+    ~finally:(fun () -> Sb_par.Pool.shutdown pool)
+    (fun () -> Engine.run ~pool ~setup ~dist specs (Sb_util.Rng.create 33))
+
+let report_lines reports =
+  Array.to_list
+    (Array.map (fun r -> Sb_obs.Json.to_string (Engine.session_report_to_json r)) reports)
+
+(* The jobs-invariant slice of the aggregate: everything except the
+   wall clock and the rates derived from it. *)
+let deterministic_slice (a : Engine.aggregate) =
+  ( (a.Engine.sessions, a.Engine.consistent, a.Engine.shards),
+    Array.to_list a.Engine.per_shard,
+    ((a.Engine.broadcasts, a.Engine.p2p), (a.Engine.broadcast_bytes, a.Engine.p2p_bytes)) )
+
+let agg_t =
+  Alcotest.(
+    triple (triple int int int) (list int) (pair (pair int int) (pair int int)))
+
+let test_reports_jobs_invariant () =
+  let agg1, reports1 = run_with_jobs mixed_specs 1 in
+  let lines1 = report_lines reports1 in
+  List.iter
+    (fun jobs ->
+      let agg, reports = run_with_jobs mixed_specs jobs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "session reports at jobs=%d" jobs)
+        lines1 (report_lines reports);
+      Alcotest.check agg_t
+        (Printf.sprintf "aggregate at jobs=%d" jobs)
+        (deterministic_slice agg1) (deterministic_slice agg))
+    [ 2; 4 ]
+
+let test_spec_order_and_protocols () =
+  let _, reports = run_with_jobs mixed_specs 2 in
+  Alcotest.(check int) "total sessions" 35 (Array.length reports);
+  (* Sessions are laid out in spec order, and the report index is the
+     global session index. *)
+  Array.iteri
+    (fun i (r : Engine.session_report) ->
+      Alcotest.(check int) "index = position" i r.Engine.index;
+      let expected =
+        if i < 17 then "concurrent-bracha"
+        else if i < 28 then "concurrent-dolev-strong"
+        else "commit-open"
+      in
+      Alcotest.(check string) "protocol by spec bounds" expected r.Engine.protocol)
+    reports
+
+let test_shard_layout_fixed () =
+  (* At most Shard.width shards, contiguous, sizes differing by at
+     most one — independent of any pool. *)
+  let shards = Shard.layout ~total:100 ~rng:(Sb_util.Rng.create 1) in
+  Alcotest.(check int) "shard count" Shard.width (Array.length shards);
+  let covered = ref 0 in
+  Array.iteri
+    (fun k (s : Shard.t) ->
+      Alcotest.(check int) "contiguous" !covered s.Shard.lo;
+      Alcotest.(check int) "indexed" k s.Shard.index;
+      Alcotest.(check bool) "balanced" true (s.Shard.len >= 3 && s.Shard.len <= 4);
+      covered := !covered + s.Shard.len)
+    shards;
+  Alcotest.(check int) "covers batch" 100 !covered;
+  (* Small batches degenerate to one session per shard. *)
+  Alcotest.(check int) "small batch" 7
+    (Array.length (Shard.layout ~total:7 ~rng:(Sb_util.Rng.create 1)))
+
+let test_passive_batches_consistent () =
+  (* Under the passive adversary every session announces its input
+     vector and all honest parties agree. *)
+  let agg, reports = run_with_jobs mixed_specs 2 in
+  Alcotest.(check int) "all consistent" agg.Engine.sessions agg.Engine.consistent;
+  Array.iter
+    (fun (r : Engine.session_report) ->
+      Alcotest.(check bool) "consistent" true r.Engine.consistent;
+      Alcotest.(check string) "announced = input"
+        (Sb_util.Bitvec.to_string r.Engine.x)
+        (Sb_util.Bitvec.to_string r.Engine.w))
+    reports
+
+let test_rejects_bad_specs () =
+  let rng = Sb_util.Rng.create 1 in
+  Alcotest.check_raises "empty spec list"
+    (Invalid_argument "Engine.run: empty spec list") (fun () ->
+      ignore (Engine.run ~setup ~dist [] rng));
+  Alcotest.check_raises "non-positive count"
+    (Invalid_argument "Engine.run: spec count must be positive") (fun () ->
+      ignore
+        (Engine.run ~setup ~dist
+           [ { Engine.protocol = substrate "concurrent-bracha"; count = 0 } ]
+           rng))
+
+let () =
+  Alcotest.run "sb_session"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "reports and aggregate jobs-invariant" `Quick
+            test_reports_jobs_invariant;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "spec order and protocol bounds" `Quick
+            test_spec_order_and_protocols;
+          Alcotest.test_case "shard layout fixed" `Quick test_shard_layout_fixed;
+          Alcotest.test_case "passive batches consistent" `Quick
+            test_passive_batches_consistent;
+          Alcotest.test_case "rejects bad specs" `Quick test_rejects_bad_specs;
+        ] );
+    ]
