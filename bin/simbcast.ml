@@ -141,9 +141,11 @@ let resolve_thresh n = function Some t -> t | None -> (n - 1) / 2
 let faults_arg =
   let doc =
     "Inject faults: ';'-separated specs crash:$(i,P)\\@$(i,R), \
-     drop:$(i,PROB)[:$(i,SRC)->$(i,DST)], delay:$(i,BY)[:$(i,SRC)->$(i,DST)], \
-     part:$(i,G)|$(i,G)\\@$(i,FIRST)-$(i,LAST) ('*' matches any endpoint), e.g. \
-     'crash:4\\@1;drop:0.1;delay:2:0->3'."
+     drop:$(i,PROB)[:$(i,SRC)->$(i,DST)][\\@$(i,R)], \
+     delay:$(i,BY)[:$(i,SRC)->$(i,DST)][\\@$(i,R)], \
+     part:$(i,G)|$(i,G)\\@$(i,FIRST)-$(i,LAST) ('*' matches any endpoint; \\@$(i,R) \
+     scopes a drop/delay to one sending round), e.g. \
+     'crash:4\\@1;drop:0.1;delay:2:0->3' or the checker-style 'drop:1:2->0\\@1'."
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~doc ~docv:"SPEC")
 
@@ -186,7 +188,7 @@ let setup_obs ?trace metrics report =
 
 (* Instrumentation never touches the split RNG streams, so the printed
    protocol outputs are identical with or without these flags. *)
-let finish_obs ?(experiments = []) ?trace ?sessions ~tag metrics report =
+let finish_obs ?(experiments = []) ?trace ?sessions ?check ~tag metrics report =
   (match trace with
   | None -> ()
   | Some file -> (
@@ -208,7 +210,7 @@ let finish_obs ?(experiments = []) ?trace ?sessions ~tag metrics report =
       let report =
         Sb_obs.Report.make ~tool:"simbcast" ~tag
           ~jobs:(Sb_par.Pool.get_default_domains ())
-          ~experiments ?trace:trace_block ?sessions ()
+          ~experiments ?trace:trace_block ?sessions ?check ()
       in
       try
         Sb_obs.Report.write_file file report;
@@ -240,7 +242,10 @@ let list_cmd =
     Printf.printf "distributions: %s\n" (String.concat ", " dist_names);
     Printf.printf "adversaries  : %s\n" (String.concat ", " adversary_names);
     Printf.printf "experiments  : e1..e8, e10..e16  (see bench/main.exe; e9 = its timing section)\n";
-    Printf.printf "fault plans  : crash:P@R  drop:PROB[:S->D]  delay:BY[:S->D]  part:G|G@A-B  (fault-sweep, run --faults)\n"
+    Printf.printf "fault plans  : crash:P@R  drop:PROB[:S->D][@R]  delay:BY[:S->D][@R]  part:G|G@A-B  (fault-sweep, run --faults)\n";
+    Printf.printf "checkable    : %s  (check, n <= %d)\n"
+      (String.concat ", " (List.map fst Sb_check.Checker.schemes))
+      Sb_check.Checker.max_n
   in
   Cmd.v (Cmd.info "list" ~doc:"List protocols, distributions and adversaries")
     Term.(const run $ const ())
@@ -821,6 +826,140 @@ let sessions_cmd =
         (const run $ protos_arg $ count_arg $ n_arg $ thresh_arg $ seed_arg $ dist_arg
        $ metrics_arg $ report_arg $ session_log_arg $ jobs_arg))
 
+(* --- check ----------------------------------------------------------- *)
+
+let check_cmd =
+  let proto_arg =
+    let doc =
+      "Substrate to check — one of the session schemes (bare name or the composed \
+       concurrent- form); see `simbcast list`."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+  in
+  let max_states_arg =
+    let doc =
+      "State budget across all configurations; when exhausted, still-unviolated \
+       properties report inconclusive instead of exact-pass."
+    in
+    Arg.(value & opt int 200_000 & info [ "max-states" ] ~doc ~docv:"N")
+  in
+  (* Local copies of -n / -t with long aliases whose unambiguous
+     prefixes make `--n 4 --t 1` work (the shared args only define the
+     short forms, and `--t` would collide with `--trace`). *)
+  let check_n_arg =
+    let doc = "Number of parties (exhaustive checking supports up to 5)." in
+    Arg.(value & opt int 4 & info [ "n"; "num"; "parties" ] ~doc)
+  in
+  let check_t_arg =
+    let doc = "Corruption bound t (default (n-1)/2)." in
+    Arg.(value & opt (some int) None & info [ "t"; "thresh" ] ~doc)
+  in
+  let usage () = Printf.eprintf "usage: simbcast check PROTOCOL --n N [--t T]\n" in
+  let verdict_cell = function
+    | Sb_check.Checker.Holds -> "exact-pass"
+    | Sb_check.Checker.Violated _ -> "VIOLATED"
+    | Sb_check.Checker.Inconclusive -> "inconclusive (state budget)"
+  in
+  let run pname n thresh seed max_states metrics report =
+    setup_obs metrics report;
+    match Sb_check.Checker.find_scheme pname with
+    | None ->
+        (* Usage errors exit 2, matching `sessions --count`; cmdliner's
+           own parse failures exit 124. *)
+        Printf.eprintf "simbcast: unknown checkable protocol %S (try: %s)\n" pname
+          (String.concat ", " (List.map fst Sb_check.Checker.schemes));
+        usage ();
+        exit 2
+    | Some scheme ->
+        if n <= 0 || n > Sb_check.Checker.max_n then begin
+          Printf.eprintf
+            "simbcast: --n %d is out of exhaustive-checking range (1..%d)\n" n
+            Sb_check.Checker.max_n;
+          usage ();
+          exit 2
+        end;
+        let thresh = resolve_thresh n thresh in
+        let setup = Core.Setup.{ default with n; thresh; seed } in
+        let ctx =
+          Core.Setup.fresh_ctx setup (Sb_util.Rng.split (Sb_util.Rng.create seed))
+        in
+        let r = Sb_check.Checker.check ~max_states ~scheme ctx in
+        let open Sb_check.Checker in
+        Printf.printf "protocol       : %s (n=%d, t=%d)\n" r.protocol r.n r.t;
+        Printf.printf "states         : %d explored, %d memo hits, %d terminals, %d configs%s\n"
+          r.stats.explored r.stats.memo_hits r.stats.terminals r.stats.configs
+          (if r.capped then Printf.sprintf " (budget %d EXHAUSTED)" r.max_states else "");
+        List.iter
+          (fun (name, verdict) ->
+            Printf.printf "%-15s: %s\n" name (verdict_cell verdict);
+            match verdict with
+            | Violated w ->
+                Printf.printf "  witness      : %s\n"
+                  (Format.asprintf "%a" pp_witness w);
+                let faults = Sb_fault.Plan.to_string (plan_of_witness w) in
+                Printf.printf "  replay       : simbcast run %s -n %d -t %d -x %s%s\n"
+                  r.protocol r.n r.t (witness_inputs ~n:r.n w)
+                  (if faults = "" then "" else Printf.sprintf " --faults '%s'" faults)
+            | Holds | Inconclusive -> ())
+          [
+            ("agreement", r.agreement);
+            ("validity", r.validity);
+            ("unforgeability", r.unforgeability);
+          ];
+        (* Cross-validate against the hand-derived E15 exact cells where
+           this (protocol, n, t) point has recorded ground truth. *)
+        let mismatches =
+          match
+            List.find_opt
+              (fun (c : Core.Resilience.exact_cell) ->
+                c.cell_protocol = r.protocol && c.cell_n = r.n && c.cell_t = r.t)
+              Core.Resilience.exact_cells
+          with
+          | None ->
+              Printf.printf "cross-check    : no exact cell recorded for this point\n";
+              []
+          | Some cell ->
+              List.filter_map
+                (fun (name, expected, verdict) ->
+                  match (expected, verdict) with
+                  | None, _ | _, Inconclusive -> None
+                  | Some true, Holds | Some false, Violated _ -> None
+                  | Some e, _ ->
+                      Some
+                        (Printf.sprintf "%s: checker says %s, exact cell says %s" name
+                           (verdict_name verdict)
+                           (if e then "holds" else "violated")))
+                [
+                  ("agreement", cell.exp_agreement, r.agreement);
+                  ("validity", cell.exp_validity, r.validity);
+                  ("unforgeability", cell.exp_unforgeability, r.unforgeability);
+                ]
+        in
+        (match mismatches with
+        | [] ->
+            if
+              List.exists
+                (fun (c : Core.Resilience.exact_cell) ->
+                  c.cell_protocol = r.protocol && c.cell_n = r.n && c.cell_t = r.t)
+                Core.Resilience.exact_cells
+            then Printf.printf "cross-check    : consistent with recorded exact cells\n"
+        | ms -> List.iter (Printf.printf "cross-check    : MISMATCH %s\n") ms);
+        finish_obs ~tag:"check" ~check:(result_to_json r) metrics report;
+        if mismatches <> [] then exit 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively model-check a broadcast substrate's agreement, validity and \
+          unforgeability at small n: every faulty set up to t, every sender and value, \
+          every per-round crash/omission/delay schedule — exact verdicts, with a \
+          minimal replayable --faults counterexample on violation")
+    Term.(
+      ret
+        (const run $ proto_arg $ check_n_arg $ check_t_arg $ seed_arg $ max_states_arg
+       $ metrics_arg $ report_arg))
+
 (* --- perf-diff -------------------------------------------------------- *)
 
 let perf_diff_cmd =
@@ -925,5 +1064,6 @@ let () =
             fault_sweep_cmd;
             profile_cmd;
             sessions_cmd;
+            check_cmd;
             perf_diff_cmd;
           ]))

@@ -22,6 +22,49 @@ let substrates () =
       Sb_broadcast.Phase_king.scheme;
     ]
 
+type exact_cell = {
+  cell_protocol : string;
+  cell_n : int;
+  cell_t : int;
+  exp_agreement : bool option;
+  exp_validity : bool option;
+  exp_unforgeability : bool option;
+}
+
+(* Hand-derived ground truth at small (n, t) under the benign
+   all-or-nothing fault model (per-round crash / omit-all / delay-all
+   by up to t parties), cross-validated by the sb_check model
+   checker's exhaustive verdicts and by E15's sampled cells where they
+   overlap. [None] marks properties the checker cannot settle within
+   its default state budget at that point. *)
+let exact_cells =
+  let cell p n t a v u =
+    {
+      cell_protocol = p;
+      cell_n = n;
+      cell_t = t;
+      exp_agreement = a;
+      exp_validity = v;
+      exp_unforgeability = u;
+    }
+  in
+  [
+    (* Round faults hit every destination alike, so the two honest
+       views stay symmetric and a faulty sender cannot split them. *)
+    cell "send-echo" 3 1 (Some true) (Some true) (Some true);
+    (* Both non-senders crashed at the echo round leave the honest
+       sender's own echo in a 1-vs-2-defaults minority. *)
+    cell "send-echo" 3 2 (Some true) (Some false) (Some true);
+    cell "dolev-strong" 3 1 (Some true) (Some true) (Some true);
+    cell "dolev-strong" 4 1 (Some true) (Some true) (Some true);
+    cell "bracha" 4 1 (Some true) (Some true) (Some true);
+    (* Above n/3: accepting needs 2t+1 = 5 > n readies, so no honest
+       party ever accepts a true broadcast — validity fails with no
+       faults at all, while every honest party defaulting keeps
+       agreement (and vacuously unforgeability) intact. *)
+    cell "bracha" 4 2 (Some true) (Some false) (Some true);
+  ]
+
 let vss_protocols () =
   List.map
     (fun (p : Protocol.t) -> (p.Protocol.name, p))

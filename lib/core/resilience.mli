@@ -32,6 +32,24 @@ val substrates : unit -> (string * Sb_sim.Protocol.t) list
     broadcast with {!Sb_broadcast.Parallel.concurrent} — one session
     per sender, all sharing the faulty network. *)
 
+type exact_cell = {
+  cell_protocol : string;  (** bare substrate name, e.g. ["bracha"] *)
+  cell_n : int;
+  cell_t : int;
+  exp_agreement : bool option;
+  exp_validity : bool option;
+  exp_unforgeability : bool option;
+}
+(** Ground-truth verdict for one (protocol, n, t) point under the
+    benign-fault model: [Some true] = the property holds over every
+    reachable execution, [Some false] = a violation exists, [None] =
+    outside the model checker's default state budget. *)
+
+val exact_cells : exact_cell list
+(** Hand-derived exact verdicts at small (n, t), used to
+    cross-validate the [sb_check] model checker and E15's sampled
+    resilience cells. *)
+
 val vss_protocols : unit -> (string * Sb_sim.Protocol.t) list
 (** The three VSS-based simultaneous-broadcast protocols (CGMA,
     Chor–Rabin, Gennaro). *)

@@ -1,0 +1,186 @@
+open Sb_sim
+
+type action = Crash | Omit | Delay
+
+type decision = (int * action) list
+
+type config = {
+  ctx : Ctx.t;
+  scheme : Sb_broadcast.Session.scheme;
+  sender : int;
+  value : Msg.t;
+  faulty : Sb_util.Subset.t;
+}
+
+type status = Mid of Envelope.t list | Terminal of Msg.t array
+
+type snapshot = { digest : string; status : status }
+
+let total_rounds config = config.scheme.Sb_broadcast.Session.rounds config.ctx
+
+let crashed_before decisions i =
+  List.exists (List.exists (fun (p, a) -> p = i && a = Crash)) decisions
+
+(* All checker sessions share one sid; it only namespaces message tags
+   within a run, and the checker drives exactly one session. *)
+let sid = "chk"
+
+let endpoint_key = function
+  | Envelope.Party i -> "P" ^ string_of_int i
+  | Envelope.Func -> "F"
+  | Envelope.All -> "*"
+
+let envelope_key (e : Envelope.t) =
+  Printf.sprintf "%s>%s:%s" (endpoint_key e.Envelope.src) (endpoint_key e.Envelope.dst)
+    (Msg.serialize e.Envelope.body)
+
+let envelopes_key envs = String.concat ";" (List.map envelope_key envs)
+
+(* Mutable replay state. [hist] is a per-party rolling hash chain over
+   the inboxes delivered so far: sessions are deterministic functions
+   of (config, delivered history), so the chain — not the opaque
+   closure state — canonically identifies each party's local state. *)
+type state = {
+  cfg : config;
+  sessions : Sb_broadcast.Session.t array;
+  crash_round : int array;
+  hist : string array;
+  mutable queue : Envelope.t list;  (* next round's deliveries, enqueue order *)
+  held : (int, Envelope.t list ref) Hashtbl.t;  (* due round -> held, arrival order *)
+}
+
+let create config =
+  let n = config.ctx.Ctx.n in
+  (* Substrate schemes never consume their rng (they are deterministic
+     given the ctx); a fixed stream keeps the signature satisfied. *)
+  let rng = Sb_util.Rng.create 0 in
+  let sessions =
+    Array.init n (fun me ->
+        config.scheme.Sb_broadcast.Session.create config.ctx ~rng:(Sb_util.Rng.split rng)
+          ~sid ~sender:config.sender ~me
+          ~value:(if me = config.sender then Some config.value else None))
+  in
+  {
+    cfg = config;
+    sessions;
+    crash_round = Array.make n max_int;
+    hist = Array.make n "";
+    queue = [];
+    held = Hashtbl.create 8;
+  }
+
+(* Deliver the pending queue and step every party — crashed parties
+   still step on their (possibly empty) inboxes, exactly as the real
+   network steps honest-but-silenced parties. Returns the round's
+   outgoing traffic in party-id order, as sent. *)
+let deliver_and_collect st ~round =
+  let n = st.cfg.ctx.Ctx.n in
+  let out = ref [] in
+  for me = n - 1 downto 0 do
+    let inbox = List.filter (fun e -> Envelope.delivered_to e me) st.queue in
+    st.hist.(me) <- Digest.string (st.hist.(me) ^ "|" ^ envelopes_key inbox);
+    let sent = st.sessions.(me).Sb_broadcast.Session.step ~round ~inbox in
+    out := sent @ !out
+  done;
+  !out
+
+(* Apply one round's decision to the as-sent queue, mirroring
+   Inject.compile: crashes are tallied first and silence everything
+   from the sender (self-delivery and broadcast included); omissions
+   and delays are all-or-nothing for the round — the clean benign
+   model, matching [drop:1:p->*@r] / [delay:1:p->*@r] — and touch only
+   distinct-endpoint point-to-point envelopes; held envelopes due this
+   round re-enter ahead of the surviving fresh traffic. *)
+let intercept st ~round (decision : decision) out =
+  List.iter
+    (fun (p, a) ->
+      if a = Crash then st.crash_round.(p) <- min st.crash_round.(p) round)
+    decision;
+  let released =
+    match Hashtbl.find_opt st.held round with
+    | Some l ->
+        Hashtbl.remove st.held round;
+        List.rev !l
+    | None -> []
+  in
+  let hold ~due e =
+    match Hashtbl.find_opt st.held due with
+    | Some l -> l := e :: !l
+    | None -> Hashtbl.add st.held due (ref [ e ])
+  in
+  let keep =
+    List.filter
+      (fun (e : Envelope.t) ->
+        match Envelope.src_party e with
+        | Some i when round >= st.crash_round.(i) -> false
+        | src -> (
+            match (src, Envelope.dst_party e) with
+            | Some s, Some d when s <> d -> (
+                match List.assoc_opt s decision with
+                | Some Omit -> false
+                | Some Delay ->
+                    hold ~due:(round + 1) e;
+                    false
+                | Some Crash | None -> true)
+            | _ -> true))
+      out
+  in
+  st.queue <- released @ keep
+
+(* Canonical state identity. Crash flags are booleans, not rounds:
+   once a party is crashed, every future filter decision is the same
+   whatever round it died in, and its delivered history is already in
+   [hist] — so crash-at-r and crash-at-r' schedules that produced the
+   same deliveries merge. At the terminal (round = total) the crash
+   flags and still-held envelopes are dead state — no decision round
+   remains that could consult or release them — so they are dropped
+   and e.g. omit-all and delay-all of the final round's traffic reach
+   the same state. *)
+let digest_of st ~round ~terminal =
+  let n = st.cfg.ctx.Ctx.n in
+  let crashes =
+    if terminal then ""
+    else
+      String.init n (fun i -> if st.crash_round.(i) = max_int then '-' else 'x')
+  in
+  let held =
+    if terminal then ""
+    else
+      Hashtbl.fold (fun due l acc -> (due, envelopes_key (List.rev !l)) :: acc) st.held []
+      |> List.sort compare
+      |> List.map (fun (due, k) -> Printf.sprintf "%d=%s" due k)
+      |> String.concat "&"
+  in
+  Digest.string
+    (String.concat "#"
+       [
+         string_of_int round;
+         crashes;
+         String.concat "!" (Array.to_list st.hist);
+         envelopes_key st.queue;
+         held;
+       ])
+
+let replay config decisions =
+  let total = total_rounds config in
+  let len = List.length decisions in
+  assert (len <= total);
+  let st = create config in
+  List.iteri
+    (fun round decision ->
+      let out = deliver_and_collect st ~round in
+      intercept st ~round decision out)
+    decisions;
+  let digest = digest_of st ~round:len ~terminal:(len = total) in
+  if len = total then begin
+    (* The last round is delivery-only: the real network discards its
+       outgoing queue before interception. *)
+    let _discarded = deliver_and_collect st ~round:total in
+    let results =
+      Array.map (fun s -> s.Sb_broadcast.Session.result ()) st.sessions
+    in
+    { digest; status = Terminal results }
+  end
+  else
+    let out = deliver_and_collect st ~round:len in
+    { digest; status = Mid out }

@@ -33,8 +33,8 @@ let compile ~n (plan : Plan.t) =
   let rules =
     List.filter_map
       (function
-        | Plan.Drop { link; p } -> Some (`Drop (link, p))
-        | Plan.Delay { link; by } -> Some (`Delay (link, by))
+        | Plan.Drop { link; p; at } -> Some (`Drop (link, p, at))
+        | Plan.Delay { link; by; at } -> Some (`Delay (link, by, at))
         | Plan.Crash _ | Plan.Partition _ -> None)
       plan
   in
@@ -84,18 +84,23 @@ let compile ~n (plan : Plan.t) =
                       false
                     end
                     else
+                      (* A rule with a round scope is inert outside its
+                         sending round; the Bernoulli coin is drawn only
+                         for rules that actually match, so scoped rules
+                         never perturb the fault stream elsewhere. *)
+                      let in_scope = function None -> true | Some r -> r = round in
                       let rec apply = function
                         | [] -> true
-                        | `Drop (l, p) :: rest ->
-                            if Plan.link_matches l ~src:s ~dst:d then
+                        | `Drop (l, p, at) :: rest ->
+                            if in_scope at && Plan.link_matches l ~src:s ~dst:d then
                               if Sb_util.Rng.bernoulli rng p then begin
                                 Sb_obs.Metrics.incr m_drops;
                                 false
                               end
                               else apply rest
                             else apply rest
-                        | `Delay (l, by) :: rest ->
-                            if Plan.link_matches l ~src:s ~dst:d then begin
+                        | `Delay (l, by, at) :: rest ->
+                            if in_scope at && Plan.link_matches l ~src:s ~dst:d then begin
                               Sb_obs.Metrics.incr m_delayed;
                               hold ~due:(round + by) e;
                               false

@@ -2,8 +2,8 @@ type link = { l_src : int option; l_dst : int option }
 
 type spec =
   | Crash of { party : int; round : int }
-  | Drop of { link : link; p : float }
-  | Delay of { link : link; by : int }
+  | Drop of { link : link; p : float; at : int option }
+  | Delay of { link : link; by : int; at : int option }
   | Partition of { groups : int list list; first : int; last : int }
 
 type t = spec list
@@ -11,8 +11,8 @@ type t = spec list
 let any_link = { l_src = None; l_dst = None }
 let link ?src ?dst () = { l_src = src; l_dst = dst }
 let crash ~party ~round = Crash { party; round }
-let drop ?src ?dst p = Drop { link = link ?src ?dst (); p }
-let delay ?src ?dst by = Delay { link = link ?src ?dst (); by }
+let drop ?src ?dst ?at p = Drop { link = link ?src ?dst (); p; at }
+let delay ?src ?dst ?at by = Delay { link = link ?src ?dst (); by; at }
 let partition ~groups ~first ~last = Partition { groups; first; last }
 
 let link_matches l ~src ~dst =
@@ -33,15 +33,19 @@ let validate ~n plan =
         if not (party_ok party) then err "crash: party %d out of range [0, %d)" party n
         else if round < 0 then err "crash: negative round %d" round
         else go rest
-    | Drop { link; p } :: rest ->
+    | Drop { link; p; at } :: rest ->
         if not (endp_ok link.l_src && endp_ok link.l_dst) then
           err "drop: link endpoint out of range [0, %d)" n
         else if not (p >= 0.0 && p <= 1.0) then err "drop: probability %g outside [0, 1]" p
+        else if (match at with Some r -> r < 0 | None -> false) then
+          err "drop: negative round scope"
         else go rest
-    | Delay { link; by } :: rest ->
+    | Delay { link; by; at } :: rest ->
         if not (endp_ok link.l_src && endp_ok link.l_dst) then
           err "delay: link endpoint out of range [0, %d)" n
         else if by < 1 then err "delay: must hold at least 1 round, got %d" by
+        else if (match at with Some r -> r < 0 | None -> false) then
+          err "delay: negative round scope"
         else go rest
     | Partition { groups; first; last } :: rest ->
         let members = List.concat groups in
@@ -63,10 +67,13 @@ let link_suffix l =
   if l = any_link then ""
   else Printf.sprintf ":%s->%s" (endp_to_string l.l_src) (endp_to_string l.l_dst)
 
+let at_suffix = function None -> "" | Some r -> Printf.sprintf "@%d" r
+
 let spec_to_string = function
   | Crash { party; round } -> Printf.sprintf "crash:%d@%d" party round
-  | Drop { link; p } -> Printf.sprintf "drop:%g%s" p (link_suffix link)
-  | Delay { link; by } -> Printf.sprintf "delay:%d%s" by (link_suffix link)
+  | Drop { link; p; at } -> Printf.sprintf "drop:%g%s%s" p (link_suffix link) (at_suffix at)
+  | Delay { link; by; at } ->
+      Printf.sprintf "delay:%d%s%s" by (link_suffix link) (at_suffix at)
   | Partition { groups; first; last } ->
       Printf.sprintf "part:%s@%d-%d"
         (String.concat "|"
@@ -99,6 +106,16 @@ let split2 what c s =
   | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
   | None -> raise (Bad (Printf.sprintf "%s: missing %C in %S" what c s))
 
+(* Optional trailing round scope "@R" on drop/delay specs; crash and
+   part use '@' with their own meaning and never reach here. *)
+let split_at_suffix rest =
+  match String.index_opt rest '@' with
+  | None -> (rest, None)
+  | Some i ->
+      ( String.sub rest 0 i,
+        Some (int_exn "round scope" (String.sub rest (i + 1) (String.length rest - i - 1)))
+      )
+
 let spec_exn s =
   let kind, rest = split2 "fault" ':' s in
   match String.trim kind with
@@ -106,22 +123,25 @@ let spec_exn s =
       let party, round = split2 "crash" '@' rest in
       crash ~party:(int_exn "crash party" party) ~round:(int_exn "crash round" round)
   | "drop" -> (
+      let rest, at = split_at_suffix rest in
       match String.index_opt rest ':' with
       | None ->
           let p = try float_of_string (String.trim rest) with _ -> raise (Bad ("bad drop rate " ^ rest)) in
-          Drop { link = any_link; p }
+          Drop { link = any_link; p; at }
       | Some i ->
           let p_str = String.sub rest 0 i in
           let p = try float_of_string (String.trim p_str) with _ -> raise (Bad ("bad drop rate " ^ p_str)) in
-          Drop { link = link_exn (String.sub rest (i + 1) (String.length rest - i - 1)); p })
+          Drop { link = link_exn (String.sub rest (i + 1) (String.length rest - i - 1)); p; at })
   | "delay" -> (
+      let rest, at = split_at_suffix rest in
       match String.index_opt rest ':' with
-      | None -> Delay { link = any_link; by = int_exn "delay" rest }
+      | None -> Delay { link = any_link; by = int_exn "delay" rest; at }
       | Some i ->
           Delay
             {
               link = link_exn (String.sub rest (i + 1) (String.length rest - i - 1));
               by = int_exn "delay" (String.sub rest 0 i);
+              at;
             })
   | "part" ->
       let groups_str, window = split2 "part" '@' rest in

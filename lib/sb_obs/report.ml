@@ -1,4 +1,4 @@
-let schema_version = 4
+let schema_version = 5
 
 type experiment_entry = {
   id : string;
@@ -44,7 +44,7 @@ let comm_to_json () =
     ]
 
 let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings = [])
-    ?trace ?sessions () =
+    ?trace ?sessions ?check () =
   Json.Obj
     ([
        ("schema_version", Json.Int schema_version);
@@ -60,6 +60,7 @@ let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings
        else [ ("timings", Json.List (List.map timing_to_json timings)) ])
     @ (match trace with None -> [] | Some t -> [ ("trace", t) ])
     @ (match sessions with None -> [] | Some s -> [ ("sessions", s) ])
+    @ (match check with None -> [] | Some c -> [ ("check", c) ])
     @ [ ("metrics", Metrics.to_json ()); ("spans", Span.to_json ()) ])
 
 let write_file path json =
@@ -153,6 +154,33 @@ let validate json =
             Ok ())
           (Ok ())
           [ "sessions_per_sec"; "msgs_per_sec"; "bytes_per_sec" ]
+  in
+  (* Schema v5: the check block is optional (only model-checker runs
+     carry it); when present it must carry the state counts and one
+     verdict string per property. *)
+  let* () =
+    match Json.member "check" json with
+    | None -> Ok ()
+    | Some c ->
+        let* () =
+          List.fold_left
+            (fun acc field ->
+              let* () = acc in
+              let* v = require ("check missing " ^ field) (Json.member field c) in
+              let* _ = require ("check " ^ field ^ " not an int") (Json.to_int_opt v) in
+              Ok ())
+            (Ok ())
+            [ "n"; "t"; "max_states"; "configs"; "explored"; "memo_hits"; "terminals" ]
+        in
+        List.fold_left
+          (fun acc field ->
+            let* () = acc in
+            let* v = require ("check missing " ^ field) (Json.member field c) in
+            let* s = require ("check " ^ field ^ " not a string") (Json.to_str_opt v) in
+            if List.mem s [ "pass"; "violated"; "inconclusive" ] then Ok ()
+            else Error (Printf.sprintf "check %s: bad verdict %S" field s))
+          (Ok ())
+          [ "agreement"; "validity"; "unforgeability" ]
   in
   Ok ()
 

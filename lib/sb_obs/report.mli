@@ -27,6 +27,7 @@ val make :
   ?timings:timing_entry list ->
   ?trace:Json.t ->
   ?sessions:Json.t ->
+  ?check:Json.t ->
   unit ->
   Json.t
 (** Assembles the report from the given outcomes plus
@@ -48,7 +49,13 @@ val make :
     Since schema v4 a session-engine run ([simbcast sessions], the
     bench sessions probe) additionally carries an optional
     ["sessions"] object — batch totals plus throughput rates,
-    normally [Sb_session.Engine.aggregate_to_json]. *)
+    normally [Sb_session.Engine.aggregate_to_json].
+
+    Since schema v5 a model-checker run ([simbcast check --report])
+    additionally carries an optional ["check"] object — protocol,
+    (n, t), state counts, the capped flag, one verdict string per
+    property and the counterexamples array — normally
+    [Sb_check.Checker.result_to_json]. *)
 
 val write_file : string -> Json.t -> unit
 (** Pretty-printed, trailing newline. *)
@@ -58,8 +65,10 @@ val validate : Json.t -> (unit, string) result
     well-formed (id/ok/wall_clock_s present), the [comm] object carries
     all four integer totals, metrics object present, the optional
     [trace] block (v3) carries its four integer counts when present,
-    and the optional [sessions] block (v4) carries its integer totals
-    and numeric rates when present. Used by tests and the CI smoke
+    the optional [sessions] block (v4) carries its integer totals
+    and numeric rates when present, and the optional [check] block
+    (v5) carries its integer state counts and three well-formed
+    verdict strings when present. Used by tests and the CI smoke
     step. *)
 
 type perf_delta = {

@@ -13,15 +13,23 @@ let is_valid n s =
 let of_list l = List.sort_uniq Int.compare l
 
 let all_of_size n k =
-  (* Standard k-combination enumeration, smallest index first. *)
-  let rec go start k =
-    if k = 0 then [ [] ]
-    else
-      List.concat_map
-        (fun i -> List.map (fun rest -> i :: rest) (go (i + 1) (k - 1)))
-        (List.init (n - start - k + 1) (fun d -> start + d))
-  in
-  go 0 k
+  (* Standard k-combination enumeration, smallest index first. An
+     impossible size (k < 0 or k > n) has no combinations, not an
+     error: the model checker asks for every size up to its fault
+     budget t, which may exceed n - 1. *)
+  if k < 0 || k > n then []
+  else
+    let rec go start k =
+      if k = 0 then [ [] ]
+      else
+        List.concat_map
+          (fun i -> List.map (fun rest -> i :: rest) (go (i + 1) (k - 1)))
+          (List.init (n - start - k + 1) (fun d -> start + d))
+    in
+    go 0 k
+
+let all_up_to n k =
+  List.concat_map (fun s -> all_of_size n s) (List.init (max 0 (k + 1)) Fun.id)
 
 let all_nonempty_proper n =
   assert (n <= 20);

@@ -49,6 +49,8 @@ let test_trailing_args_rejected () =
       [ "profile"; "e1"; "junk" ];
       [ "sessions"; "bracha"; "junk" ];
       [ "sessions" ];
+      [ "check"; "bracha"; "junk" ];
+      [ "check" ];
       [ "perf-diff"; "a.json"; "b.json"; "junk" ];
       [ "perf-diff"; "only-one.json" ];
       [ "profile" ];
@@ -220,6 +222,85 @@ let test_sessions_jobs_invariant () =
   Alcotest.(check string) "session log jobs-invariant" l1 l2;
   Alcotest.(check string) "sessions block jobs-invariant" s1 s2
 
+(* --- check ----------------------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_check_usage_errors () =
+  (* Unknown protocol and out-of-budget n are usage errors (exit 2 with
+     a usage line), distinct from cmdliner's 124 for unparseable args. *)
+  let out = temp ".check.err" in
+  Alcotest.(check int) "unknown protocol exits 2" 2
+    (command ~out [ "check"; "no-such-proto" ]);
+  Alcotest.(check bool) "unknown protocol prints usage" true
+    (contains (read_file out) "usage");
+  Alcotest.(check int) "n above the budget exits 2" 2
+    (command ~out [ "check"; "bracha"; "--n"; "6" ]);
+  Alcotest.(check bool) "n above the budget prints usage" true
+    (contains (read_file out) "usage");
+  Sys.remove out
+
+let test_check_holding_cell () =
+  let out = temp ".check.out" and report = temp ".check.json" in
+  Alcotest.(check int) "check bracha 4/1 exits 0" 0
+    (command ~out [ "check"; "bracha"; "--n"; "4"; "--t"; "1"; "--report"; report ]);
+  let printed = read_file out in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) line true (contains printed line))
+    [
+      "agreement      : exact-pass";
+      "validity       : exact-pass";
+      "unforgeability : exact-pass";
+    ];
+  Alcotest.(check bool) "no violation at 4/1" false (contains printed "VIOLATED");
+  (* The report validates at schema v5 and carries the check block. *)
+  let v = parse_file report in
+  (match Report.validate v with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "check report invalid: %s" e);
+  let check_block = Option.get (Json.member "check" v) in
+  let int_field k = Option.bind (Json.member k check_block) Json.to_int_opt |> Option.get in
+  Alcotest.(check bool) "explored nonzero" true (int_field "explored" > 0);
+  Alcotest.(check bool) "memo hits nonzero" true (int_field "memo_hits" > 0);
+  List.iter Sys.remove [ out; report ]
+
+let test_check_violated_cell () =
+  let out = temp ".check.out" in
+  Alcotest.(check int) "check bracha 4/2 exits 0" 0
+    (command ~out [ "check"; "bracha"; "--n"; "4"; "--t"; "2" ]);
+  let printed = read_file out in
+  Alcotest.(check bool) "validity violated at 4/2" true (contains printed "VIOLATED");
+  Alcotest.(check bool) "prints a replay hint" true (contains printed "simbcast run");
+  Sys.remove out
+
+let test_check_reports_deterministic () =
+  (* Two identical check invocations must produce byte-identical
+     reports: the check path opens no spans and reads no clocks. *)
+  let r1 = temp ".check1.json" and r2 = temp ".check2.json" in
+  let args report =
+    [ "check"; "dolev-strong"; "--n"; "4"; "--t"; "1"; "--seed"; "9"; "--report"; report ]
+  in
+  Alcotest.(check int) "first check exits 0" 0 (command (args r1));
+  Alcotest.(check int) "second check exits 0" 0 (command (args r2));
+  Alcotest.(check string) "reports byte-identical" (read_file r1) (read_file r2);
+  List.iter Sys.remove [ r1; r2 ]
+
+let test_check_counterexample_replays () =
+  (* The bracha 4/2 validity counterexample is the empty plan with a
+     benign-faulty sender: replaying that configuration through the
+     real network reproduces the violation (input 1 announced as 0). *)
+  let out = temp ".replay.out" in
+  Alcotest.(check int) "replay run exits 0" 0
+    (command ~out [ "run"; "bracha"; "-n"; "4"; "-t"; "2"; "-x"; "1000" ]);
+  let printed = read_file out in
+  Alcotest.(check bool) "replay reproduces the violation" true
+    (contains printed "announced  : 0000");
+  Sys.remove out
+
 (* --- profile --------------------------------------------------------- *)
 
 let test_profile_runs () =
@@ -227,11 +308,6 @@ let test_profile_runs () =
   Alcotest.(check int) "profile exits 0" 0
     (command ~out [ "profile"; "e6"; "--quick"; "--top"; "5" ]);
   let printed = read_file out in
-  let contains s sub =
-    let n = String.length sub in
-    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
-    go 0
-  in
   Alcotest.(check bool) "prints the attribution table" true
     (contains printed "phase-time attribution");
   Alcotest.(check bool) "prints flame paths" true (contains printed "/round/");
@@ -255,6 +331,14 @@ let () =
             test_sessions_count_validation;
           Alcotest.test_case "sessions jobs-invariant (jobs 1, 2)" `Quick
             test_sessions_jobs_invariant;
+          Alcotest.test_case "check usage errors" `Quick test_check_usage_errors;
+          Alcotest.test_case "check holding cell (bracha 4/1)" `Quick test_check_holding_cell;
+          Alcotest.test_case "check violated cell (bracha 4/2)" `Quick
+            test_check_violated_cell;
+          Alcotest.test_case "check reports byte-identical" `Quick
+            test_check_reports_deterministic;
+          Alcotest.test_case "check counterexample replays" `Quick
+            test_check_counterexample_replays;
           Alcotest.test_case "profile prints attribution" `Quick test_profile_runs;
         ] );
     ]

@@ -25,6 +25,29 @@ let test_plan_roundtrip () =
       | Error e -> Alcotest.failf "reparse failed: %s" e);
       Alcotest.(check bool) "empty plan" true (Plan.of_string "" = Ok [])
 
+(* Round-scoped drops and delays — the checker's counterexample form. *)
+let test_plan_round_scopes () =
+  let example = "drop:1:2->0@1;delay:1:2->*@2;drop:0.5@0" in
+  (match Plan.of_string example with
+  | Error e -> Alcotest.failf "scoped example does not parse: %s" e
+  | Ok plan ->
+      Alcotest.(check string) "prints back" example (Plan.to_string plan);
+      Alcotest.(check bool) "validates at n=3" true (Plan.validate ~n:3 plan = Ok ());
+      Alcotest.(check bool) "scoped constructors match"
+        true
+        (plan
+        = [
+            Plan.drop ~src:2 ~dst:0 ~at:1 1.0;
+            Plan.delay ~src:2 ~at:2 1;
+            Plan.drop ~at:0 0.5;
+          ]));
+  (match Plan.of_string "drop:1:0->1@x" with
+  | Ok _ -> Alcotest.fail "non-numeric round scope parsed"
+  | Error _ -> ());
+  match Plan.validate ~n:4 [ Plan.drop ~at:(-1) 1.0 ] with
+  | Ok () -> Alcotest.fail "negative round scope validated"
+  | Error _ -> ()
+
 let test_plan_parse_errors () =
   List.iter
     (fun s ->
@@ -103,6 +126,18 @@ let test_delay_holds_and_releases () =
   Alcotest.(check bool) "released as if sent 2 rounds later, in order" true
     (f ~round:2 [] = [ e1; e2 ]);
   Alcotest.(check int) "released only once" 0 (List.length (f ~round:3 []))
+
+let test_round_scoped_drop_and_delay () =
+  (* @R restricts a rule to envelopes sent in exactly that round. *)
+  let f = interceptor [ Plan.drop ~src:0 ~at:1 1.0 ] in
+  let e = p2p ~src:0 ~dst:1 in
+  Alcotest.(check bool) "other rounds untouched" true (f ~round:0 [ e ] = [ e ]);
+  Alcotest.(check int) "scoped round dropped" 0 (List.length (f ~round:1 [ e ]));
+  Alcotest.(check bool) "after the scope untouched" true (f ~round:2 [ e ] = [ e ]);
+  let g = interceptor [ Plan.delay ~src:0 ~at:1 1 ] in
+  Alcotest.(check bool) "delay out of scope passes" true (g ~round:0 [ e ] = [ e ]);
+  Alcotest.(check int) "delay in scope holds" 0 (List.length (g ~round:1 [ e ]));
+  Alcotest.(check bool) "released one round later" true (g ~round:2 [] = [ e ])
 
 let test_partition_window () =
   let f = interceptor [ Plan.partition ~groups:[ [ 0; 1 ] ] ~first:1 ~last:2 ] in
@@ -279,6 +314,7 @@ let () =
       ( "plan",
         [
           Alcotest.test_case "round-trip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "round scopes" `Quick test_plan_round_scopes;
           Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
           Alcotest.test_case "validate errors" `Quick test_plan_validate_errors;
         ] );
@@ -288,6 +324,8 @@ let () =
           Alcotest.test_case "drop spares model channels" `Quick test_drop_spares_model_channels;
           Alcotest.test_case "drop link restriction" `Quick test_drop_link_restriction;
           Alcotest.test_case "delay holds and releases" `Quick test_delay_holds_and_releases;
+          Alcotest.test_case "round-scoped drop and delay" `Quick
+            test_round_scoped_drop_and_delay;
           Alcotest.test_case "partition window" `Quick test_partition_window;
           Alcotest.test_case "first matching rule wins" `Quick test_first_matching_rule_wins;
         ] );

@@ -155,6 +155,40 @@ let test_subset_all_of_size () =
 let test_subset_nonempty_proper () =
   Alcotest.(check int) "2^4 - 2" 14 (List.length (Subset.all_nonempty_proper 4))
 
+(* The checker's counterexample enumeration order is part of its
+   determinism contract: lexicographic, smallest leading index first. *)
+let test_subset_enumeration_order () =
+  Alcotest.(check (list (list int)))
+    "C(4,2) lexicographic"
+    [ [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ]; [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ] ]
+    (Subset.all_of_size 4 2);
+  Alcotest.(check (list (list int)))
+    "all_up_to sizes ascending, empty first"
+    [ []; [ 0 ]; [ 1 ]; [ 2 ]; [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ] ]
+    (Subset.all_up_to 3 2)
+
+let test_subset_edge_cases () =
+  Alcotest.(check (list (list int))) "k = 0 is the empty set" [ [] ] (Subset.all_of_size 5 0);
+  Alcotest.(check (list (list int))) "k = n is the full set" [ [ 0; 1; 2 ] ]
+    (Subset.all_of_size 3 3);
+  Alcotest.(check (list (list int))) "k > n is empty" [] (Subset.all_of_size 3 4);
+  Alcotest.(check (list (list int))) "k < 0 is empty" [] (Subset.all_of_size 3 (-1));
+  Alcotest.(check (list (list int))) "n = 0, k = 0" [ [] ] (Subset.all_of_size 0 0);
+  (* A corruption budget beyond n-1 (the checker asks for sizes up to
+     t, which may exceed what n supports) just tops out at n. *)
+  Alcotest.(check int) "all_up_to caps at 2^n" 8 (List.length (Subset.all_up_to 3 7));
+  Alcotest.(check (list (list int))) "all_up_to 2 0" [ [] ] (Subset.all_up_to 2 0)
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
 let contains hay needle =
   let nl = String.length needle and hl = String.length hay in
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
@@ -192,6 +226,15 @@ let qcheck_bitvec_xor_involution =
     (fun (a, b) ->
       let va = Sb_util.Bitvec.of_int 8 a and vb = Sb_util.Bitvec.of_int 8 b in
       Bitvec.equal va (Bitvec.xor (Bitvec.xor va vb) vb))
+
+let qcheck_subset_count_is_binomial =
+  QCheck.Test.make ~name:"|all_of_size n k| = C(n,k)" ~count:200
+    QCheck.(pair (int_bound 9) (int_bound 11))
+    (fun (n, k) ->
+      let subsets = Subset.all_of_size n k in
+      List.length subsets = binomial n k
+      && List.for_all (Subset.is_valid (max n 1)) subsets
+      && List.for_all (fun s -> List.length s = k) subsets)
 
 let qcheck_subset_complement_partition =
   QCheck.Test.make ~name:"subset complement partitions [n]" ~count:200
@@ -235,6 +278,9 @@ let () =
           Alcotest.test_case "complement" `Quick test_subset_complement;
           Alcotest.test_case "all_of_size" `Quick test_subset_all_of_size;
           Alcotest.test_case "nonempty proper" `Quick test_subset_nonempty_proper;
+          Alcotest.test_case "enumeration order pinned" `Quick test_subset_enumeration_order;
+          Alcotest.test_case "edge cases" `Quick test_subset_edge_cases;
+          QCheck_alcotest.to_alcotest qcheck_subset_count_is_binomial;
           QCheck_alcotest.to_alcotest qcheck_subset_complement_partition;
         ] );
       ( "tabular",
