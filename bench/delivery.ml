@@ -6,7 +6,10 @@
    Usage:
      dune exec bench/delivery.exe                  -- default n sweep, all substrates
      dune exec bench/delivery.exe -- 32            -- single n
-     dune exec bench/delivery.exe -- 32 --reps=10  -- more repetitions per cell *)
+     dune exec bench/delivery.exe -- 32 --reps=10  -- more repetitions per cell
+     dune exec bench/delivery.exe -- --single 128 256 512
+                        -- one single-sender session per substrate (the E17
+                           unit; EIG excluded) on the arena delivery path *)
 
 let substrates =
   [
@@ -17,21 +20,40 @@ let substrates =
     Sb_broadcast.Phase_king.scheme;
   ]
 
-let time_cell (protocol : Sb_sim.Protocol.t) ~n ~reps =
+(* EIG's single-session bodies are Theta(n)-sized path lists — cubic
+   bytes per session, excluded from the large-n sweep (same contract
+   as E17). *)
+let single_substrates =
+  [
+    Sb_broadcast.Send_echo.scheme;
+    Sb_broadcast.Dolev_strong.scheme;
+    Sb_broadcast.Bracha.scheme;
+    Sb_broadcast.Phase_king.scheme;
+  ]
+
+let time_cell (protocol : Sb_sim.Protocol.t) ~n ~reps ~arena =
   let rng = Sb_util.Rng.create (9000 + n) in
-  let ctx = Sb_sim.Ctx.make ~rng ~n ~thresh:1 ~k:8 () in
+  let pool = if arena then Some (Sb_sim.Envelope.Arena.create ()) else None in
+  let ctx = Sb_sim.Ctx.make ~rng ~n ~thresh:1 ~k:8 ?pool () in
   let inputs = Array.init n (fun i -> Sb_sim.Msg.Bit (i mod 2 = 0)) in
+  let run () =
+    if arena then
+      Sb_sim.Network.honest_run ~record_trace:false ~record_comm:true
+        ~reuse_envelopes:true ctx ~rng ~protocol ~inputs
+    else Sb_sim.Network.honest_run ctx ~rng ~protocol ~inputs
+  in
   (* One warm-up run, then the timed repetitions. *)
-  let r = Sb_sim.Network.honest_run ctx ~rng ~protocol ~inputs in
+  let r = run () in
   let t0 = Unix.gettimeofday () in
   for _ = 1 to reps do
-    ignore (Sb_sim.Network.honest_run ctx ~rng ~protocol ~inputs)
+    ignore (run ())
   done;
   let dt = Unix.gettimeofday () -. t0 in
   (dt /. float_of_int reps, r.Sb_sim.Network.p2p_messages)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let single = List.mem "--single" args in
   let reps =
     List.fold_left
       (fun acc a ->
@@ -42,18 +64,27 @@ let () =
       5 args
   in
   let ns =
-    match List.filter_map int_of_string_opt args with [] -> [ 8; 16; 32; 64 ] | l -> l
+    match List.filter_map int_of_string_opt args with
+    | [] -> if single then [ 128; 256; 512 ] else [ 8; 16; 32; 64 ]
+    | l -> l
+  in
+  let title =
+    if single then
+      "delivery probe (single-session honest runs, arena path, thresh = 1)"
+    else "delivery probe (honest runs, thresh = 1)"
   in
   let table =
-    Sb_util.Tabular.create ~title:"delivery probe (honest runs, thresh = 1)"
-      ~columns:[ "substrate"; "n"; "ms/run"; "p2p msgs" ]
+    Sb_util.Tabular.create ~title ~columns:[ "substrate"; "n"; "ms/run"; "p2p msgs" ]
   in
   List.iter
     (fun (s : Sb_broadcast.Session.scheme) ->
-      let protocol = Sb_broadcast.Parallel.concurrent s in
+      let protocol =
+        if single then Sb_broadcast.Parallel.single s
+        else Sb_broadcast.Parallel.concurrent s
+      in
       List.iter
         (fun n ->
-          let secs, msgs = time_cell protocol ~n ~reps in
+          let secs, msgs = time_cell protocol ~n ~reps ~arena:single in
           Sb_util.Tabular.add_row table
             [
               protocol.Sb_sim.Protocol.name;
@@ -62,5 +93,5 @@ let () =
               string_of_int msgs;
             ])
         ns)
-    substrates;
+    (if single then single_substrates else substrates);
   Sb_util.Tabular.print table

@@ -279,8 +279,13 @@ let () =
   let crypto_timings = Crypto.run () in
   Crypto.print_summary crypto_timings;
   (match !csv_dir with Some dir -> Crypto.write_csv dir crypto_timings | None -> ());
+  let delivery_timings = Delivery_probe.run () in
+  Delivery_probe.print_summary delivery_timings;
   let session_timings, sessions_block = Sessions.run ~count:session_count () in
-  let timings = timings @ [ run_gtester_smoke () ] @ crypto_timings @ session_timings in
+  let timings =
+    timings @ [ run_gtester_smoke () ] @ crypto_timings @ delivery_timings
+    @ session_timings
+  in
   print_comm ();
   let tag =
     if quick then "quick"

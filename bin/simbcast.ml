@@ -241,7 +241,7 @@ let list_cmd =
     Sb_util.Tabular.print table;
     Printf.printf "distributions: %s\n" (String.concat ", " dist_names);
     Printf.printf "adversaries  : %s\n" (String.concat ", " adversary_names);
-    Printf.printf "experiments  : e1..e8, e10..e16  (see bench/main.exe; e9 = its timing section)\n";
+    Printf.printf "experiments  : e1..e8, e10..e17  (see bench/main.exe; e9 = its timing section)\n";
     Printf.printf "fault plans  : crash:P@R  drop:PROB[:S->D][@R]  delay:BY[:S->D][@R]  part:G|G@A-B  (fault-sweep, run --faults)\n";
     Printf.printf "checkable    : %s  (check, n <= %d)\n"
       (String.concat ", " (List.map fst Sb_check.Checker.schemes))
@@ -490,7 +490,7 @@ let exact_cmd =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id (e1..e8, e10..e16)." in
+    let doc = "Experiment id (e1..e8, e10..e17)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let quick_arg =
@@ -501,13 +501,50 @@ let experiment_cmd =
     let doc = "Also dump the table as $(docv)/<id>.csv." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc ~docv:"DIR")
   in
-  let run id quick csv metrics report trace jobs =
+  let n_max_arg =
+    let doc =
+      "Cap the E17 size sweep at $(docv) parties (an integer, at least 128 — the \
+       smallest E17 size). Only meaningful with e17."
+    in
+    Arg.(value & opt (some string) None & info [ "n-max" ] ~doc ~docv:"N")
+  in
+  let run id quick csv n_max metrics report trace jobs =
+    (* Match sessions' contract for flag validation: a malformed or
+       out-of-range --n-max is a usage error with exit 2 (cmdliner's
+       own parse failures exit 124, so parse the string here). *)
+    let n_max =
+      match n_max with
+      | None -> None
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some m when m >= 128 -> Some m
+          | _ ->
+              Printf.eprintf
+                "simbcast: --n-max must be an integer >= 128 (the smallest E17 size), \
+                 got %S\n"
+                s;
+              exit 2)
+    in
     setup_obs ?trace metrics report;
     setup_jobs jobs;
     let setup =
       if quick then Core.Setup.with_samples 2000 Core.Setup.default else Core.Setup.default
     in
-    match Core.Experiments.find id with
+    let found =
+      match (Core.Experiments.find id, n_max) with
+      | None, _ -> None
+      | (Some _ as e), None -> e
+      | Some e, Some m ->
+          if String.lowercase_ascii e.Core.Experiments.id = "e17" then
+            Some
+              (Core.Experiments.entry "E17" e.Core.Experiments.title
+                 (Core.Experiments.e17_scaling ~n_max:m))
+          else begin
+            Printf.eprintf "simbcast: --n-max only applies to experiment e17\n";
+            exit 2
+          end
+    in
+    match found with
     | None ->
         fail "unknown experiment %S (try: %s)" id
           (String.concat ", " Core.Experiments.ids)
@@ -547,11 +584,11 @@ let experiment_cmd =
         `Ok ()
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E16)")
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E17)")
     Term.(
       ret
-        (const run $ id_arg $ quick_arg $ csv_arg $ metrics_arg $ report_arg $ trace_arg
-       $ jobs_arg))
+        (const run $ id_arg $ quick_arg $ csv_arg $ n_max_arg $ metrics_arg $ report_arg
+       $ trace_arg $ jobs_arg))
 
 (* --- fault-sweep ----------------------------------------------------- *)
 
@@ -667,7 +704,7 @@ let fault_sweep_cmd =
 
 let profile_cmd =
   let id_arg =
-    let doc = "Experiment id to profile (e1..e8, e10..e16)." in
+    let doc = "Experiment id to profile (e1..e8, e10..e17)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let quick_arg =

@@ -1051,6 +1051,146 @@ let e16_wire_complexity ?(ns = [ 4; 8; 16; 32; 64 ]) ?(thresh = 1) () =
       ];
   }
 
+(* --- E17: single-session scaling to n = 2048 ----------------------- *)
+
+let e17_ns_full = [ 128; 256; 512; 1024; 2048 ]
+let e17_ns_quick = [ 128; 256 ]
+
+(* The large-n engine exercised end to end: one single-sender session
+   per substrate ([Parallel.single], Theta(n^2) messages — the full
+   n-session compositions of E16 are a factor n more work and top out
+   around n = 64), run with trace recording off, arena-backed envelope
+   reuse on, and per-run comm tallies instead of trace sums. EIG is
+   excluded: its relay bodies are Theta(n)-sized lists of paths, so a
+   single session is Theta(n^3) bytes and its exit-level majority
+   resolve scans n^(t+1) paths — it has no business at n = 2048 and
+   the skip is recorded as a note rather than silently dropped. *)
+let e17_scaling ?n_max (setup : Setup.t) =
+  let ns = if setup.Setup.samples <= 2000 then e17_ns_quick else e17_ns_full in
+  let ns = match n_max with None -> ns | Some m -> List.filter (fun n -> n <= m) ns in
+  let thresh = 1 in
+  let table =
+    Tabular.create
+      ~title:
+        "E17: single-session scaling of the broadcast substrates (t = 1, honest run, \
+         arena delivery)"
+      ~columns:
+        [ "substrate"; "n"; "rounds"; "p2p msgs"; "deliveries"; "wire bytes"; "ms" ]
+  in
+  let protos =
+    List.map
+      (fun (s : Sb_broadcast.Session.scheme) ->
+        (s.Sb_broadcast.Session.scheme_name, Sb_broadcast.Parallel.single s))
+      [
+        Sb_broadcast.Send_echo.scheme;
+        Sb_broadcast.Dolev_strong.scheme;
+        Sb_broadcast.Bracha.scheme;
+        Sb_broadcast.Phase_king.scheme;
+      ]
+  in
+  let measurements =
+    List.map
+      (fun (label, protocol) ->
+        let per_n =
+          List.map
+            (fun n ->
+              let rng = Rng.create (1700 + n) in
+              let pool = Sb_sim.Envelope.Arena.create () in
+              let ctx = Sb_sim.Ctx.make ~rng ~n ~thresh ~k:8 ~pool () in
+              let inputs = Array.init n (fun i -> Sb_sim.Msg.Bit (i mod 2 = 0)) in
+              let t0 = Unix.gettimeofday () in
+              let r =
+                Sb_sim.Network.honest_run ~record_trace:false ~record_comm:true
+                  ~reuse_envelopes:true ctx ~rng ~protocol ~inputs
+              in
+              let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+              let c = Option.get r.Sb_sim.Network.comm in
+              let bytes = c.Sb_sim.Network.broadcast_bytes + c.Sb_sim.Network.p2p_bytes in
+              Tabular.add_row table
+                [
+                  label; string_of_int n;
+                  string_of_int r.Sb_sim.Network.rounds_used;
+                  string_of_int r.Sb_sim.Network.p2p_messages;
+                  string_of_int c.Sb_sim.Network.deliveries;
+                  string_of_int bytes;
+                  Printf.sprintf "%.2f" ms;
+                ];
+              let agree =
+                List.for_all
+                  (fun (_, m) -> Sb_sim.Msg.equal m inputs.(0))
+                  r.Sb_sim.Network.outputs
+              in
+              ( n,
+                ( r.Sb_sim.Network.rounds_used,
+                  r.Sb_sim.Network.p2p_messages,
+                  bytes,
+                  agree ) ))
+            ns
+        in
+        Tabular.add_rule table;
+        (label, per_n))
+      protos
+  in
+  (* Shape checks. One session of an all-to-all scheme with t fixed:
+     rounds are a protocol constant, p2p messages grow as Theta(n^2),
+     and wire bytes track the message count (bodies are O(log n):
+     ids, tags, signature material — no n-sized payloads), so they sit
+     in a quadratic band widened upward for digit growth. The output
+     check pins that every honest party decides the sender's value at
+     every size — the engine refactor must not just be fast. *)
+  let growth_checks (label, per_n) =
+    match ns with
+    | [] | [ _ ] -> []
+    | lo :: _ ->
+        let hi = List.nth ns (List.length ns - 1) in
+        let r = float_of_int hi /. float_of_int lo in
+        let quad = r *. r in
+        let rounds_lo, msgs_lo, bytes_lo, _ = List.assoc lo per_n in
+        let rounds_hi, msgs_hi, bytes_hi, _ = List.assoc hi per_n in
+        let msg_growth = float_of_int msgs_hi /. float_of_int msgs_lo in
+        let byte_growth = float_of_int bytes_hi /. float_of_int bytes_lo in
+        [
+          (label ^ ": rounds constant in n", rounds_hi = rounds_lo);
+          ( label ^ ": p2p messages quadratic",
+            msg_growth >= 0.3 *. quad && msg_growth <= 1.5 *. quad );
+          ( label ^ ": wire bytes quadratic (log-widened)",
+            byte_growth >= 0.3 *. quad && byte_growth <= 4.0 *. quad );
+        ]
+  in
+  let checks =
+    List.concat_map
+      (fun (label, per_n) ->
+        (label ^ ": all parties decide the sender's value",
+         List.for_all (fun (_, (_, _, _, agree)) -> agree) per_n)
+        :: growth_checks (label, per_n))
+      measurements
+  in
+  List.iter
+    (fun (c, ok) ->
+      Tabular.add_row table [ c; "-"; "-"; "-"; "-"; "-"; Tabular.cell_bool ok ])
+    checks;
+  {
+    id = "E17";
+    title = "Single-session scaling of the broadcast substrates";
+    table;
+    ok = List.for_all snd checks && ns <> [];
+    rows_checked = List.length checks;
+    notes =
+      [
+        "eig is skipped: its relay bodies are Theta(n)-sized path lists (a single \
+         session is cubic in bytes) and its exit-level resolve scans n^(t+1) paths; \
+         the E16 cubic band already covers it at small n.";
+        "Runs use the arena delivery path (record_trace:false, reuse_envelopes, \
+         record_comm); bytes come from the per-run comm tallies, which agree with \
+         Trace.wire_bytes when the trace is on.";
+        Printf.sprintf "sizes: %s%s"
+          (String.concat ", " (List.map string_of_int ns))
+          (match n_max with
+          | None -> ""
+          | Some m -> Printf.sprintf " (capped by --n-max %d)" m);
+      ];
+  }
+
 (* --- registry ------------------------------------------------------ *)
 
 let m_rows = Sb_obs.Metrics.counter "exp.rows_checked"
@@ -1099,6 +1239,8 @@ let registry =
     entry "E15" "Resilience curves under injected faults" e15_fault_resilience;
     entry "E16" "Wire complexity of the broadcast substrates" (fun _ ->
         e16_wire_complexity ());
+    entry "E17" "Single-session scaling of the broadcast substrates" (fun setup ->
+        e17_scaling setup);
   ]
 
 let ids = List.map (fun e -> e.id) registry

@@ -59,6 +59,17 @@ val e16_wire_complexity : ?ns:int list -> ?thresh:int -> unit -> outcome
     in n and message/byte growth to the Theta(n^3) band (n sessions of
     an all-to-all scheme). *)
 
+val e17_scaling : ?n_max:int -> Setup.t -> outcome
+(** The large-n engine end to end: one single-sender session per
+    substrate ({!Sb_broadcast.Parallel.single}, Θ(n²) messages) at
+    n ∈ 128 … 2048 (128, 256 under the quick sample budget), run with
+    trace recording off, arena-backed envelope reuse on, and per-run
+    comm tallies; pins rounds constant in n, message/byte growth to
+    the quadratic band, and every party deciding the sender's value.
+    EIG is excluded (cubic bytes per session) — recorded as a note.
+    [n_max] drops the sizes above it; the CLI's [--n-max] flag feeds
+    it. *)
+
 val e14_figure1 : Setup.t -> outcome
 (** Re-derives every arrow of the paper's Figure 1 from E1/E5/E6/E7 and
     renders the verified diagram; the closing artifact of the bench
@@ -75,6 +86,11 @@ type entry = {
     is the bare driver. Both front ends (bench/main.exe and
     [simbcast experiment]) dispatch through this registry, so the id
     lists cannot drift. *)
+
+val entry : string -> string -> (Setup.t -> outcome) -> entry
+(** Build a catalogue entry (instrumented as described above) — for
+    front ends that need to re-parameterise a driver, e.g.
+    [simbcast experiment e17 --n-max]. *)
 
 val registry : entry list
 (** Every experiment, in canonical order (E9 is the Bechamel timing

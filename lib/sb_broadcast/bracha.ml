@@ -27,19 +27,18 @@ let scheme =
         let t = ctx.Ctx.thresh in
         let echo_quorum = (n + t + 2) / 2 (* ceil((n+t+1)/2) *) in
         (* Receive sets: which parties' echo/ready has been counted.
-           First message per source wins, as in the seed. *)
-        let echo_seen = ref (Bitvec.zero n) in
-        let ready_seen = ref (Bitvec.zero n) in
+           First message per source wins, as in the seed. Mutable so a
+           recorded message costs O(1), not an O(n) vector copy. *)
+        let echo_seen = Bitvec.Mut.create n in
+        let ready_seen = Bitvec.Mut.create n in
         (* Distinct values with their tallies, oldest first. *)
         let tallies : tally list ref = ref [] in
         let echoed = ref false in
         let ready_sent = ref false in
         let wrap m = Session.wrap ~sid m in
-        let send_all m =
-          List.map
-            (fun (e : Envelope.t) -> { e with Envelope.body = wrap e.Envelope.body })
-            (Envelope.to_all ~n ~src:me m)
-        in
+        (* Wrap once, share the body across all n envelopes; drawn from
+           the ctx arena when one is installed. *)
+        let send_all m = Ctx.to_all ctx ~src:me (wrap m) in
         let tally_for v =
           match List.find_opt (fun s -> Msg.equal s.v v) !tallies with
           | Some s -> s
@@ -53,14 +52,14 @@ let scheme =
             (fun (e : Envelope.t) ->
               match (Envelope.src_party e, Session.unwrap ~sid e.Envelope.body) with
               | Some src, Some (Msg.Tag ("br-echo", v)) ->
-                  if not (Bitvec.get !echo_seen src) then begin
-                    echo_seen := Bitvec.set !echo_seen src true;
+                  if not (Bitvec.Mut.get echo_seen src) then begin
+                    Bitvec.Mut.set echo_seen src true;
                     let s = tally_for v in
                     s.echoes <- s.echoes + 1
                   end
               | Some src, Some (Msg.Tag ("br-ready", v)) ->
-                  if not (Bitvec.get !ready_seen src) then begin
-                    ready_seen := Bitvec.set !ready_seen src true;
+                  if not (Bitvec.Mut.get ready_seen src) then begin
+                    Bitvec.Mut.set ready_seen src true;
                     let s = tally_for v in
                     s.readies <- s.readies + 1
                   end

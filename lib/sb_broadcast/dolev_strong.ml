@@ -21,20 +21,35 @@ let decode m =
       if List.length decoded = List.length sigs then Some (v, decoded) else None
   | _ -> None
 
-(* The signer set of a chain as a Bitvec, or [None] if any signer
-   index is duplicated or out of range. One pass replaces the seed's
-   sort_uniq-based distinctness check plus two list scans (sender
-   membership, own-signature lookup); an out-of-range signer made the
-   seed's signature verification fail, so collapsing it into [None]
-   keeps chain validity decisions identical. *)
-let chain_signers ~n chain =
-  let rec go acc = function
-    | [] -> Some acc
+(* Marks the chain's signer set in the session's scratch vector and
+   reads off sender/own membership, clearing the marked bits again
+   before returning so the scratch costs O(chain) per call. Returns
+   [None] if any signer index is duplicated or out of range: one pass
+   replaces the seed's sort_uniq-based distinctness check plus two
+   list scans (sender membership, own-signature lookup); an
+   out-of-range signer made the seed's signature verification fail, so
+   collapsing it into [None] keeps chain validity decisions
+   identical. *)
+let signer_mask scratch ~n ~sender ~me chain =
+  let rec mark = function
+    | [] -> true
     | (i, _) :: rest ->
-        if i < 0 || i >= n || Bitvec.get acc i then None
-        else go (Bitvec.set acc i true) rest
+        if i < 0 || i >= n || Bitvec.Mut.get scratch i then false
+        else begin
+          Bitvec.Mut.set scratch i true;
+          mark rest
+        end
   in
-  go (Bitvec.zero n) chain
+  let ok = mark chain in
+  let res =
+    if ok then Some (Bitvec.Mut.get scratch sender, Bitvec.Mut.get scratch me)
+    else None
+  in
+  (* Clear exactly the in-range bits this chain touched; on the failure
+     path the unmarked suffix is already false, so re-clearing it is a
+     no-op. *)
+  List.iter (fun (i, _) -> if i >= 0 && i < n then Bitvec.Mut.set scratch i false) chain;
+  res
 
 let scheme =
   {
@@ -49,6 +64,8 @@ let scheme =
         let accepted : Msg.t list ref = ref [] in
         (* Values to relay next round, with their signature sets. *)
         let outbox : (Msg.t * (int * string) list) list ref = ref [] in
+        let scratch = Bitvec.Mut.create n in
+        let send_all m = Ctx.to_all ctx ~src:me (Session.wrap ~sid m) in
         let valid_sigs v chain =
           List.for_all
             (fun (i, s) -> Sb_crypto.Sig.verify sigs ~signer:i (base ~sid v) s)
@@ -61,15 +78,15 @@ let scheme =
               | Some (v, chain) -> (
                   (* Signatures are prepended as the value travels, so
                      the sender's signature sits at the tail. *)
-                  match chain_signers ~n chain with
-                  | Some signers
+                  match signer_mask scratch ~n ~sender ~me chain with
+                  | Some (signed_by_sender, signed_by_me)
                     when List.length chain >= round
-                         && Bitvec.get signers sender
+                         && signed_by_sender
                          && valid_sigs v chain
                          && (not (List.exists (Msg.equal v) !accepted))
                          && List.length !accepted < 2 ->
                       accepted := v :: !accepted;
-                      if round <= t && not (Bitvec.get signers me) then
+                      if round <= t && not signed_by_me then
                         outbox :=
                           (v, (me, Sb_crypto.Sig.sign sigs ~signer:me (base ~sid v)) :: chain)
                           :: !outbox
@@ -84,21 +101,12 @@ let scheme =
             | Some v ->
                 accepted := [ v ];
                 let chain = [ (me, Sb_crypto.Sig.sign sigs ~signer:me (base ~sid v)) ] in
-                List.map
-                  (fun (e : Envelope.t) ->
-                    { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
-                  (Envelope.to_all ~n ~src:me (encode v chain))
+                send_all (encode v chain)
             | None -> []
           end
           else begin
             let out =
-              List.concat_map
-                (fun (v, chain) ->
-                  List.map
-                    (fun (e : Envelope.t) ->
-                      { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
-                    (Envelope.to_all ~n ~src:me (encode v chain)))
-                !outbox
+              List.concat_map (fun (v, chain) -> send_all (encode v chain)) !outbox
             in
             outbox := [];
             out

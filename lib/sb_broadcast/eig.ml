@@ -13,7 +13,29 @@ let decode_pair = function
       if List.length ints = List.length path then Some (ints, v) else None
   | _ -> None
 
-let distinct l = List.length (List.sort_uniq Int.compare l) = List.length l
+let distinct_slow l = List.length (List.sort_uniq Int.compare l) = List.length l
+
+(* Distinctness of a path's party indices, via the session's scratch
+   membership vector (marked bits are cleared again before returning,
+   so a check costs O(path), not O(n)). Any out-of-range index
+   (adversary-supplied paths are unconstrained) falls back to the
+   seed's sort_uniq check over the whole list, so acceptance decisions
+   are bit-for-bit those of the seed (pinned differentially in
+   test_broadcast.ml). *)
+let distinct scratch ~n l =
+  let rec go = function
+    | [] -> Some true
+    | i :: rest ->
+        if i < 0 || i >= n then None
+        else if Sb_util.Bitvec.Mut.get scratch i then Some false
+        else begin
+          Sb_util.Bitvec.Mut.set scratch i true;
+          go rest
+        end
+  in
+  let r = go l in
+  List.iter (fun i -> if i >= 0 && i < n then Sb_util.Bitvec.Mut.set scratch i false) l;
+  match r with Some b -> b | None -> distinct_slow l
 
 let scheme =
   {
@@ -26,6 +48,7 @@ let scheme =
         let t = ctx.Ctx.thresh in
         let tree : (int list, Msg.t) Hashtbl.t = Hashtbl.create 64 in
         let last_level : (int list * Msg.t) list ref = ref [] in
+        let scratch = Sb_util.Bitvec.Mut.create n in
         let store ~round inbox =
           List.iter
             (fun (e : Envelope.t) ->
@@ -37,7 +60,7 @@ let scheme =
                       match decode_pair pair with
                       | Some (path, v)
                         when List.length path = round
-                             && distinct path
+                             && distinct scratch ~n path
                              && (match path with p0 :: _ -> p0 = sender | [] -> false)
                              && (match List.rev path with last :: _ -> Some last = src | [] -> false)
                              && not (Hashtbl.mem tree path) ->
@@ -52,10 +75,8 @@ let scheme =
         let broadcast_pairs pairs =
           if pairs = [] then []
           else
-            List.map
-              (fun (e : Envelope.t) ->
-                { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
-              (Envelope.to_all ~n ~src:me (Msg.List (List.map encode_pair pairs)))
+            Ctx.to_all ctx ~src:me
+              (Session.wrap ~sid (Msg.List (List.map encode_pair pairs)))
         in
         let step ~round ~inbox =
           last_level := [];

@@ -11,6 +11,47 @@ let window ~mode ~scheme_rounds ~sender =
 
 let to_bit m = match m with Msg.Bit b -> b | _ -> false
 
+(* One-pass sid bucketing. The per-party step used to re-filter its
+   whole inbox once per session ([Session.inbox_for], n scans per
+   step — the extra factor of n that dominated concurrent-mode runs at
+   large n); instead, parse the sender index k out of each envelope's
+   "bc:s<k>" tag and dispatch it once. The parse is strict — every
+   tag character after "bc:s" a digit, no leading zeros, k < n — so an
+   envelope lands in bucket k exactly when its tag equals
+   [Session.tag (session_id k)] for some k < n, i.e. exactly when the
+   seed's per-sid filter would have kept it; everything else is
+   dropped, as before. Buckets preserve inbox order, so each session
+   sees byte-identical input. *)
+let bucket_by_sid ~n envs =
+  let buckets = Array.make n [] in
+  let pre = "bc:s" in
+  let lp = String.length pre in
+  List.iter
+    (fun (e : Envelope.t) ->
+      match e.Envelope.body with
+      | Msg.Tag (t, _) ->
+          let lt = String.length t in
+          (* <= 9 digits also guards the accumulator against overflow
+             on adversarial tags; any real k has far fewer. *)
+          if
+            lt > lp
+            && lt <= lp + 9
+            && String.sub t 0 lp = pre
+            && not (t.[lp] = '0' && lt > lp + 1)
+          then begin
+            let ok = ref true and k = ref 0 in
+            for i = lp to lt - 1 do
+              let c = t.[i] in
+              if c < '0' || c > '9' then ok := false
+              else k := (!k * 10) + (Char.code c - Char.code '0')
+            done;
+            if !ok && !k < n then buckets.(!k) <- e :: buckets.(!k)
+          end
+      | _ -> ())
+    envs;
+  Array.iteri (fun i l -> buckets.(i) <- List.rev l) buckets;
+  buckets
+
 let make mode (scheme : Session.scheme) name =
   let rounds ctx =
     let r = scheme.rounds ctx in
@@ -28,15 +69,14 @@ let make mode (scheme : Session.scheme) name =
     in
     let scheme_rounds = scheme.rounds ctx in
     let step ~round ~inbox =
+      let buckets = bucket_by_sid ~n inbox in
       List.concat
         (List.init n (fun sender ->
              let lo, hi = window ~mode ~scheme_rounds ~sender in
              if round < lo || round > hi then []
              else
-               let local = round - lo in
-               let sid = session_id sender in
-               sessions.(sender).Session.step ~round:local
-                 ~inbox:(Session.inbox_for ~sid inbox)))
+               sessions.(sender).Session.step ~round:(round - lo)
+                 ~inbox:buckets.(sender)))
     in
     let output () =
       Msg.bits (List.init n (fun sender -> to_bit (sessions.(sender).Session.result ())))
@@ -47,3 +87,27 @@ let make mode (scheme : Session.scheme) name =
 
 let sequential scheme = make `Sequential scheme ("sequential-" ^ scheme.Session.scheme_name)
 let concurrent scheme = make `Concurrent scheme ("concurrent-" ^ scheme.Session.scheme_name)
+
+(* One session only: sender P_0 broadcasts, everybody else listens.
+   This is the Θ(n^2)-message unit the scaling sweep (E17) measures —
+   a whole n-session parallel composition is a factor n more work and
+   would conflate composition cost with substrate cost. *)
+let single (scheme : Session.scheme) =
+  let sid = session_id 0 in
+  let make_party ctx ~rng ~id ~input =
+    let value = if id = 0 then Some input else None in
+    let session =
+      scheme.create ctx ~rng:(Sb_util.Rng.split rng) ~sid ~sender:0 ~me:id ~value
+    in
+    let step ~round ~inbox =
+      session.Session.step ~round ~inbox:(Session.inbox_for ~sid inbox)
+    in
+    let output () = session.Session.result () in
+    { Party.step; output }
+  in
+  {
+    Protocol.name = "single-" ^ scheme.Session.scheme_name;
+    rounds = scheme.rounds;
+    make_functionality = None;
+    make_party;
+  }

@@ -21,6 +21,13 @@ val session_id : int -> string
 val sequential : Session.scheme -> Sb_sim.Protocol.t
 val concurrent : Session.scheme -> Sb_sim.Protocol.t
 
+val single : Session.scheme -> Sb_sim.Protocol.t
+(** One session only ("single-<scheme>"): P_0 is the sender, every
+    party outputs that session's result directly (no bit coercion, no
+    [Msg.List]). The Θ(n²)-message unit the scaling sweep measures —
+    the full n-session compositions above cost a factor n more and
+    would conflate composition cost with substrate cost. *)
+
 val window : mode:[ `Sequential | `Concurrent ] -> scheme_rounds:int -> sender:int -> int * int
 (** [window ~mode ~scheme_rounds ~sender] is the inclusive network-round
     interval during which the sender's session is active; exposed so

@@ -18,6 +18,7 @@ let scheme =
         let current = ref (Option.value value ~default) in
         let strong = ref false in
         let wrap m = Session.wrap ~sid m in
+        let send_all m = Ctx.to_all ctx ~src:me (wrap m) in
         let payloads inbox =
           List.filter_map
             (fun (e : Envelope.t) ->
@@ -61,22 +62,15 @@ let scheme =
           (* 2. Send this round's traffic. *)
           if round = 0 then (
             match value with
-            | Some v ->
-                List.map
-                  (fun (e : Envelope.t) -> { e with Envelope.body = wrap e.Envelope.body })
-                  (Envelope.to_all ~n ~src:me (Msg.Tag ("pk-send", v)))
+            | Some v -> send_all (Msg.Tag ("pk-send", v))
             | None -> [])
           else if round >= 1 && round <= (2 * t) + 1 && round mod 2 = 1 then
             (* Phase (round-1)/2 all-to-all exchange. *)
-            List.map
-              (fun (e : Envelope.t) -> { e with Envelope.body = wrap e.Envelope.body })
-              (Envelope.to_all ~n ~src:me (Msg.Tag ("pk-val", !current)))
+            send_all (Msg.Tag ("pk-val", !current))
           else if round >= 2 && round <= (2 * t) + 2 && round mod 2 = 0 && me = (round - 2) / 2
           then
             (* I am this phase's king. *)
-            List.map
-              (fun (e : Envelope.t) -> { e with Envelope.body = wrap e.Envelope.body })
-              (Envelope.to_all ~n ~src:me (Msg.Tag ("pk-king", !current)))
+            send_all (Msg.Tag ("pk-king", !current))
           else []
         in
         let result () = !current in

@@ -11,7 +11,16 @@ let scheme =
         assert ((me = sender) = Option.is_some value);
         let n = ctx.Ctx.n in
         let received = ref None in
-        let echoes = Hashtbl.create 8 in
+        (* Echo slots, array-backed: the seed kept a per-source
+           hashtable with Hashtbl.replace last-write-wins semantics;
+           a membership Bitvec plus a value array preserves exactly
+           that (last write to a slot wins, absentees fall back to the
+           default in [result]) without per-lookup hashing.
+           test_broadcast.ml pins this differentially against the
+           seed. *)
+        let echo_seen = Sb_util.Bitvec.Mut.create n in
+        let echo_val = Array.make n default in
+        let send_all m = Ctx.to_all ctx ~src:me (Session.wrap ~sid m) in
         let step ~round ~inbox =
           let payloads =
             List.filter_map
@@ -26,9 +35,7 @@ let scheme =
               match value with
               | Some v ->
                   received := Some v;
-                  List.map
-                    (fun e -> { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
-                    (Envelope.to_all ~n ~src:me v)
+                  send_all v
               | None -> [])
           | 1 ->
               (* Echo what the sender said (or the default if silent). *)
@@ -37,14 +44,14 @@ let scheme =
                   Some
                     (match List.assoc_opt sender payloads with Some m -> m | None -> default);
               let v = Option.value !received ~default in
-              List.map
-                (fun e -> { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
-                (Envelope.to_all ~n ~src:me (Msg.Tag ("echo", v)))
+              send_all (Msg.Tag ("echo", v))
           | 2 ->
               List.iter
                 (fun (src, m) ->
                   match m with
-                  | Msg.Tag ("echo", v) -> Hashtbl.replace echoes src v
+                  | Msg.Tag ("echo", v) ->
+                      Sb_util.Bitvec.Mut.set echo_seen src true;
+                      echo_val.(src) <- v
                   | _ -> ())
                 payloads;
               []
@@ -54,7 +61,7 @@ let scheme =
           (* Majority over all n echo slots, absentees counted as default. *)
           let counts = Hashtbl.create 8 in
           for src = 0 to n - 1 do
-            let v = match Hashtbl.find_opt echoes src with Some v -> v | None -> default in
+            let v = if Sb_util.Bitvec.Mut.get echo_seen src then echo_val.(src) else default in
             let key = Msg.serialize v in
             let c = match Hashtbl.find_opt counts key with Some (c, _) -> c | None -> 0 in
             Hashtbl.replace counts key (c + 1, v)

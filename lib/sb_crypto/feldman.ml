@@ -11,13 +11,14 @@ let commit f ~threshold =
 
 let expected_share_commitment c index =
   (* Π_j C_j^{x^j} at x = index + 1, Horner-style in the exponent:
-     acc = C_t, then acc = acc^x * C_{t-1}, ... *)
+     acc = C_t, then acc = acc^x * C_{t-1}, ... — carried in
+     Montgomery form across the whole loop, converted back once. *)
   let x = Field.to_int (Shamir.eval_point index) in
-  let acc = ref Modgroup.one in
+  let acc = ref Modgroup.Mont.one in
   for j = Array.length c - 1 downto 0 do
-    acc := Modgroup.mul (Modgroup.pow_int !acc x) c.(j)
+    acc := Modgroup.Mont.(mul (pow !acc x) (of_elt c.(j)))
   done;
-  !acc
+  Modgroup.Mont.to_elt !acc
 
 let verify_share c (s : Shamir.share) =
   Modgroup.equal (Modgroup.commit_g s.value) (expected_share_commitment c s.index)

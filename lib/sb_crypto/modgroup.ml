@@ -6,7 +6,70 @@ let () = assert (modulus = (2 * order) + 1)
 let one = 1
 let mul a b = a * b mod modulus
 
-let pow_int h e =
+(* --- Montgomery arithmetic ----------------------------------------- *)
+
+(* Montgomery form over R = 2^31 — not 2^32 or 2^63: REDC multiplies
+   two sub-R residues and adds a sub-R tail, and every intermediate
+   must fit OCaml's 63-bit native int (m*P <= (R-1)(P) < 2^62). An
+   element x is carried as x*R mod P; REDC(t) = t*R^-1 mod P replaces
+   the hardware division in [mul] with three multiplications and a
+   shift, which is what makes arbitrary-base [pow] competitive with
+   the fixed-base tables. *)
+module Mont = struct
+  type m = int
+
+  let r_bits = 31
+  let mask = (1 lsl r_bits) - 1
+
+  (* R = 2^31 = P + 69, so R mod P = 69 and R^2 mod P = 69^2. *)
+  let one = (1 lsl r_bits) - modulus
+  let r2 = one * one
+  let () = assert (r2 < modulus)
+
+  (* -P^-1 mod R by Newton–Hensel lifting: each step doubles the
+     number of correct low bits of the inverse, so five steps from the
+     exact 1-bit seed cover all 31. *)
+  let p_inv =
+    let inv = ref 1 in
+    for _ = 1 to 5 do
+      inv := !inv * (2 - (modulus * !inv)) land mask
+    done;
+    assert (modulus * !inv land mask = 1);
+    ((1 lsl r_bits) - !inv) land mask
+
+  (* REDC for 0 <= t < R*P: with m = t*p_inv mod R, t + m*P is
+     divisible by R, and (t + m*P)/R < 2P. The sum is split as
+     t_hi + (t_lo + m*P)/R so the largest intermediate stays below
+     2^62 - 68*2^31 < max_int. The final subtract-P-if-needed is
+     branchless ([v asr 62] is all-ones exactly when v went negative):
+     the carry is data-random, so a conditional branch here would
+     mispredict half the time and cost more than the three
+     multiplications it guards. *)
+  let[@inline] reduce t =
+    let t_lo = t land mask in
+    let m = t_lo * p_inv land mask in
+    let u = (t lsr r_bits) + ((t_lo + (m * modulus)) lsr r_bits) in
+    let v = u - modulus in
+    v + (modulus land (v asr 62))
+
+  let[@inline] of_elt x = reduce (x * r2)
+  let[@inline] to_elt m = reduce m
+  let[@inline] mul a b = reduce (a * b)
+
+  let pow m e =
+    assert (e >= 0);
+    let rec go acc base e =
+      if e = 0 then acc
+      else
+        let acc = if e land 1 = 1 then mul acc base else acc in
+        go acc (mul base base) (e lsr 1)
+    in
+    go one m e
+end
+
+(* Reference ladder over the division-based [mul]; kept as the qcheck
+   oracle the Montgomery and fixed-base paths are tested against. *)
+let pow_naive_int h e =
   assert (e >= 0);
   let rec go acc base e =
     if e = 0 then acc
@@ -16,7 +79,7 @@ let pow_int h e =
   in
   go one h e
 
-let pow h e = pow_int h (Field.to_int e)
+let pow_naive h e = pow_naive_int h (Field.to_int e)
 let g = 4
 
 (* 9 = 3^2 is a quadratic residue mod the safe prime, hence a member of
@@ -93,6 +156,26 @@ let pow_gh a b =
     b := !b lsr window_bits
   done;
   !acc
+
+(* Arbitrary-base exponentiation. The two shared generators route to
+   their fixed-base window tables (value-identical to the ladder,
+   property-tested in test_crypto), which is where nearly every pow
+   call in the codebase lands; any other base runs the Montgomery
+   ladder. Measured on the dev box: pow at base g 207 -> ~35 ns; for
+   truly arbitrary bases the REDC ladder is within ~1.3x of the
+   division ladder — the hardware divider is pipelined and fast for
+   these operand sizes, so REDC's value there is staying in-domain
+   across compound loops (see the Pedersen/Feldman Horner), not the
+   single exponentiation. *)
+let fixed_range e = e lsr (window_bits * window_count) = 0
+
+let pow_int b e =
+  assert (e >= 0);
+  if b = g && fixed_range e then pow_fixed table_g e
+  else if b = h && fixed_range e then pow_fixed table_h e
+  else Mont.to_elt (Mont.pow (Mont.of_elt b) e)
+
+let pow b e = pow_int b (Field.to_int e)
 
 (* Extended Euclid modulo the (prime) modulus: every member is a unit
    of Z_P^*, and for h in the order-q subgroup the Z_P^* inverse

@@ -34,12 +34,15 @@ let deal rng ~threshold ~parties ~secret =
   { shares; commitment; blind0 }
 
 let expected_commitment c index =
+  (* Horner in the exponent, carried in Montgomery form across the
+     whole polynomial: one of_elt per coefficient, one to_elt at the
+     end, and every ladder step inside pow is division-free. *)
   let x = Field.to_int (Shamir.eval_point index) in
-  let acc = ref Modgroup.one in
+  let acc = ref Modgroup.Mont.one in
   for j = Array.length c - 1 downto 0 do
-    acc := Modgroup.mul (Modgroup.pow_int !acc x) c.(j)
+    acc := Modgroup.Mont.(mul (pow !acc x) (of_elt c.(j)))
   done;
-  !acc
+  Modgroup.Mont.to_elt !acc
 
 let verify_share c s = Modgroup.equal (commit_pair s.value s.blind) (expected_commitment c s.index)
 

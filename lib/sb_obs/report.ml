@@ -1,4 +1,4 @@
-let schema_version = 5
+let schema_version = 6
 
 type experiment_entry = {
   id : string;
@@ -181,6 +181,26 @@ let validate json =
             else Error (Printf.sprintf "check %s: bad verdict %S" field s))
           (Ok ())
           [ "agreement"; "validity"; "unforgeability" ]
+  in
+  (* Schema v6: the timings block is optional (only bench runs carry
+     it); when present every entry must be a {name, ns_per_run} pair —
+     the perf-diff guards key on names like "delivery/..." and
+     "crypto/pow", so a malformed entry must fail validation rather
+     than silently drop out of the diff. *)
+  let* () =
+    match Json.member "timings" json with
+    | None -> Ok ()
+    | Some t ->
+        let* entries = require "timings not a list" (Json.to_list_opt t) in
+        List.fold_left
+          (fun acc e ->
+            let* () = acc in
+            let* name = require "timing entry missing name" (Json.member "name" e) in
+            let* name = require "timing entry name not a string" (Json.to_str_opt name) in
+            let* ns = require (name ^ ": missing ns_per_run") (Json.member "ns_per_run" e) in
+            let* _ = require (name ^ ": ns_per_run not numeric") (Json.to_float_opt ns) in
+            Ok ())
+          (Ok ()) entries
   in
   Ok ()
 

@@ -55,7 +55,14 @@ val make :
     additionally carries an optional ["check"] object — protocol,
     (n, t), state counts, the capped flag, one verdict string per
     property and the counterexamples array — normally
-    [Sb_check.Checker.result_to_json]. *)
+    [Sb_check.Checker.result_to_json].
+
+    Schema v6 tightens the optional ["timings"] block (bench runs):
+    every entry must be a [{name, ns_per_run, r_square}] object —
+    [validate] now rejects malformed entries, since the perf-diff
+    guards (gtester-smoke, crypto/..., delivery/..., sessions/...)
+    key on entry names and a malformed entry would silently drop out
+    of the diff. *)
 
 val write_file : string -> Json.t -> unit
 (** Pretty-printed, trailing newline. *)
@@ -66,10 +73,11 @@ val validate : Json.t -> (unit, string) result
     all four integer totals, metrics object present, the optional
     [trace] block (v3) carries its four integer counts when present,
     the optional [sessions] block (v4) carries its integer totals
-    and numeric rates when present, and the optional [check] block
+    and numeric rates when present, the optional [check] block
     (v5) carries its integer state counts and three well-formed
-    verdict strings when present. Used by tests and the CI smoke
-    step. *)
+    verdict strings when present, and the optional [timings] block
+    (v6) is a list of well-formed [{name, ns_per_run}] entries when
+    present. Used by tests and the CI smoke step. *)
 
 type perf_delta = {
   name : string;  (** timing entry name, e.g. ["gtester-smoke/20k"] *)

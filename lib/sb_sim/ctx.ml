@@ -5,9 +5,10 @@ type t = {
   commit : Sb_crypto.Commit.scheme;
   sigs : Sb_crypto.Sig.scheme;
   crs : string;
+  pool : Envelope.Arena.arena option;
 }
 
-let make ?(backend = Sb_crypto.Commit.Hash) ~rng ~n ~thresh ~k () =
+let make ?(backend = Sb_crypto.Commit.Hash) ?pool ~rng ~n ~thresh ~k () =
   assert (n >= 1 && thresh >= 0 && thresh < n && k >= 1);
   {
     n;
@@ -16,4 +17,10 @@ let make ?(backend = Sb_crypto.Commit.Hash) ~rng ~n ~thresh ~k () =
     commit = Sb_crypto.Commit.create ~k backend;
     sigs = Sb_crypto.Sig.create rng ~n;
     crs = Sb_util.Rng.bytes rng k;
+    pool;
   }
+
+let to_all ctx ~src body =
+  match ctx.pool with
+  | Some a -> Envelope.Arena.to_all a ~n:ctx.n ~src body
+  | None -> Envelope.to_all ~n:ctx.n ~src body

@@ -13,15 +13,27 @@ type t = {
   commit : Sb_crypto.Commit.scheme;
   sigs : Sb_crypto.Sig.scheme;
   crs : string;  (** common reference string, k bytes *)
+  pool : Envelope.Arena.arena option;
+      (** When present, {!to_all} draws envelope records from this
+          arena instead of allocating; set by large-n callers that run
+          {!Network.run} with [~reuse_envelopes:true]. *)
 }
 
 val make :
   ?backend:Sb_crypto.Commit.backend ->
+  ?pool:Envelope.Arena.arena ->
   rng:Sb_util.Rng.t ->
   n:int ->
   thresh:int ->
   k:int ->
   unit ->
   t
-(** Fresh setup drawn from [rng]. Default backend is [Hash]. Requires
-    0 <= thresh < n and k >= 1. *)
+(** Fresh setup drawn from [rng]. Default backend is [Hash], default
+    no envelope pool. Requires 0 <= thresh < n and k >= 1. [?pool]
+    does not touch [rng], so pooled and unpooled setups draw
+    identical randomness. *)
+
+val to_all : t -> src:int -> Msg.t -> Envelope.t list
+(** One copy to every party ({!Envelope.to_all}), drawn from the
+    context's arena when one is installed — the substrates' send-all
+    path. Byte-identical envelopes either way. *)

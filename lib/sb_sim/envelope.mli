@@ -14,7 +14,11 @@
 
 type endpoint = Party of int | Func | All
 
-type t = { src : endpoint; dst : endpoint; body : Msg.t }
+type t = { mutable src : endpoint; mutable dst : endpoint; mutable body : Msg.t }
+(** Fields are mutable solely for {!Arena} recycling on the large-n
+    hot path; treat envelopes as immutable values everywhere else.
+    Structural equality and [{ e with ... }] behave exactly as they
+    did when the fields were immutable. *)
 
 val make : src:int -> dst:int -> Msg.t -> t
 (** Party-to-party. *)
@@ -46,6 +50,11 @@ val delivered_to : t -> int -> bool
 (** Whether the envelope reaches party [i]'s inbox: direct address or
     broadcast. *)
 
+val endpoint_size : endpoint -> int
+(** Bytes of one rendered endpoint ("P<id>", "F" or "*") — the
+    addressing-header component of {!wire_size}, exposed so callers
+    that cache body sizes can still account headers per envelope. *)
+
 val wire_size : t -> int
 (** Bytes this envelope would occupy on a wire: the {!Msg.size_bytes}
     of the body plus a canonical addressing header (endpoints as
@@ -54,3 +63,35 @@ val wire_size : t -> int
     recipient — matching how [sim.broadcasts] counts messages. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Two-sided envelope arena for the large-n delivery path: records
+    handed out at flip cycle [f] are recycled at cycle [f+2], giving
+    every envelope exactly one full round of grace when
+    {!Network.run} flips once per round under [~reuse_envelopes].
+    Bodies stay immutable {!Msg.t} values; only the envelope records
+    are recycled, so the arena must not be combined with trace
+    recording, delay-fault queues, or adversaries that retain
+    delivered envelopes across rounds ([Network.run] enforces the
+    first two). *)
+module Arena : sig
+  type arena
+
+  val create : unit -> arena
+
+  val flip : arena -> unit
+  (** Switch sides and reset the side flipped onto, handing its
+      records back for reuse. *)
+
+  val flips : arena -> int
+  (** Number of flips performed — the generation counter: an envelope
+      allocated at [flips = f] stays un-recycled until two further
+      flips have happened. *)
+
+  val make : arena -> src:int -> dst:int -> Msg.t -> t
+  (** Party-to-party envelope drawn from the current side (the record
+      is recycled, the fields are freshly set). *)
+
+  val to_all : arena -> n:int -> src:int -> Msg.t -> t list
+  (** Arena-backed {!Envelope.to_all}: same envelopes in the same
+      order, drawn from the pool. *)
+end

@@ -1,3 +1,10 @@
+type comm = {
+  broadcasts : int;
+  broadcast_bytes : int;
+  p2p_bytes : int;
+  deliveries : int;
+}
+
 type result = {
   outputs : (int * Msg.t) list;
   adv_output : Msg.t;
@@ -5,6 +12,7 @@ type result = {
   rounds_used : int;
   p2p_messages : int;
   trace : Trace.t;
+  comm : comm option;
 }
 
 let log_src = Logs.Src.create "sb.network" ~doc:"simulated network round events"
@@ -58,6 +66,38 @@ let count_bytes envs =
       else (b, p + Envelope.wire_size e))
     (0, 0) envs
 
+(* Per-run communication tally for [?record_comm]: like count_channels
+   + count_bytes in one pass, with a one-slot physical-equality cache
+   for body sizes — a send-all fan-out shares one body across n
+   envelopes, so the size walk runs once per distinct body instead of
+   once per envelope. Independent of the global metrics registry: the
+   large-n experiments need per-run numbers without retaining traces
+   and without adding counters to every report's metrics block. *)
+let comm_tally cached_body cached_size envs (b, p, bb, pb) =
+  List.fold_left
+    (fun (b, p, bb, pb) e ->
+      if Envelope.is_func_bound e then (b, p, bb, pb)
+      else begin
+        let body = e.Envelope.body in
+        let size =
+          if body == !cached_body then !cached_size
+          else begin
+            let s = Msg.size_bytes body in
+            cached_body := body;
+            cached_size := s;
+            s
+          end
+        in
+        let w =
+          Envelope.endpoint_size e.Envelope.src
+          + Envelope.endpoint_size e.Envelope.dst
+          + size
+        in
+        if Envelope.is_broadcast e then (b + 1, p, bb + w, pb)
+        else (b, p + 1, bb, pb + w)
+      end)
+    (b, p, bb, pb) envs
+
 type interceptor = round:int -> Envelope.t list -> Envelope.t list
 
 (* The round loop runs five explicit phases over a route-indexed
@@ -80,9 +120,18 @@ type interceptor = round:int -> Envelope.t list -> Envelope.t list
    list-filter engine showed it; only the delivery cost changed, from
    O(parties x envelopes) to O(envelopes) per round. *)
 let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~inputs
-    ?(aux = Msg.Unit) ?(record_trace = true) ?faults () =
+    ?(aux = Msg.Unit) ?(record_trace = true) ?(record_comm = false)
+    ?(reuse_envelopes = false) ?faults () =
   let n = ctx.n in
   if Array.length inputs <> n then invalid_arg "Network.run: wrong number of inputs";
+  (* Envelope recycling mutates records two rounds after allocation;
+     anything that retains envelopes across rounds — the run trace,
+     delay-fault re-injection queues — would see them change under its
+     feet. (Adversaries that stash delivered envelopes across rounds
+     are equally incompatible; that contract is documented, not
+     checkable here.) *)
+  if reuse_envelopes && (record_trace || Option.is_some faults) then
+    invalid_arg "Network.run: reuse_envelopes requires record_trace:false and no faults";
   (* Independent randomness streams, in a fixed order for reproducibility.
      The fault stream is split last, and only when a fault hook is
      installed, so fault-free runs replay the exact seed streams. *)
@@ -119,9 +168,18 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
   (* Two routers ping-pong across rounds: [mailboxes] holds this
      round's deliveries, [staging] is cleared and refilled with the
      next round's queue, then they swap. *)
-  let mailboxes = ref (Router.create n) in
-  let staging = ref (Router.create n) in
+  (* Preallocating mailbox capacity under reuse avoids the first
+     rounds' doubling-growth copies; capacity is retained across the
+     run either way. *)
+  let router_cap = if reuse_envelopes then n else 0 in
+  let mailboxes = ref (Router.create ~cap:router_cap n) in
+  let staging = ref (Router.create ~cap:router_cap n) in
   let trace = ref [] in
+  (* ?record_comm accumulators (per-run, metrics-independent). *)
+  let c_bcast = ref 0 and c_p2p_bytes = ref 0 and c_bcast_bytes = ref 0 in
+  let c_deliveries = ref 0 in
+  let cached_body = ref Msg.Unit in
+  let cached_size = ref (Msg.size_bytes Msg.Unit) in
   (* Monte-Carlo sampling passes [record_trace:false]: the per-round
      envelope lists are then dropped as soon as the round ends instead
      of being retained for the whole run, and the p2p tally below is
@@ -156,6 +214,11 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
      round's span opens these become its incoming flow edges. *)
   let pending : Sb_obs.Trace_ctx.h list ref = ref [] in
   for round = 0 to total_rounds do
+    (* Under reuse, flip the context arena: the side flipped onto last
+       held round r-2's allocations, delivered and consumed at r-1 —
+       dead by now, so its records are recycled for this round. *)
+    if reuse_envelopes then
+      (match ctx.pool with Some a -> Envelope.Arena.flip a | None -> ());
     let metrics_on = Sb_obs.Metrics.enabled () in
     let t0 = if metrics_on then Unix.gettimeofday () else 0.0 in
     let inbox_router = !mailboxes in
@@ -267,6 +330,15 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
       let _, hp = count_channels honest_out and _, ap = count_channels adv_out in
       p2p_count := !p2p_count + hp + ap
     end;
+    if record_comm && not last then begin
+      let b, _, bb, pb =
+        comm_tally cached_body cached_size adv_out
+          (comm_tally cached_body cached_size honest_out (0, 0, 0, 0))
+      in
+      c_bcast := !c_bcast + b;
+      c_bcast_bytes := !c_bcast_bytes + bb;
+      c_p2p_bytes := !c_p2p_bytes + pb
+    end;
     if metrics_on then begin
       Sb_obs.Metrics.incr m_rounds;
       Sb_obs.Metrics.incr ~by:(List.length honest_out) m_honest;
@@ -287,6 +359,7 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
       (fun e -> if not (Envelope.is_func_bound e) then Router.route next e)
       all_out;
     Router.route_all next func_out;
+    if record_comm then c_deliveries := !c_deliveries + Router.total next;
     Sb_obs.Trace_ctx.end_span s_route;
     if tracing && not last then begin
       (* One causal edge per delivered envelope: sender span -> next
@@ -357,7 +430,18 @@ let run (ctx : Ctx.t) ~rng ~(protocol : Protocol.t) ~(adversary : Adversary.t) ~
     rounds_used = total_rounds;
     p2p_messages = !p2p_count;
     trace;
+    comm =
+      (if record_comm then
+         Some
+           {
+             broadcasts = !c_bcast;
+             broadcast_bytes = !c_bcast_bytes;
+             p2p_bytes = !c_p2p_bytes;
+             deliveries = !c_deliveries;
+           }
+       else None);
   }
 
-let honest_run ctx ~rng ~protocol ~inputs =
-  run ctx ~rng ~protocol ~adversary:(Adversary.passive protocol) ~inputs ()
+let honest_run ?record_trace ?record_comm ?reuse_envelopes ctx ~rng ~protocol ~inputs =
+  run ctx ~rng ~protocol ~adversary:(Adversary.passive protocol) ~inputs ?record_trace
+    ?record_comm ?reuse_envelopes ()

@@ -28,6 +28,20 @@
     delivery-only step runs (outgoing messages are discarded), then
     outputs are collected. *)
 
+type comm = {
+  broadcasts : int;  (** broadcast-channel uses (counted once each) *)
+  broadcast_bytes : int;
+  p2p_bytes : int;
+  deliveries : int;
+      (** inbox arrivals including broadcast fan-out — the per-round
+          {!Router.total} summed over the run *)
+}
+(** Per-run communication totals, tallied incrementally under
+    [?record_comm] — independent of the global metrics registry and of
+    the trace, so large-n runs get exact wire accounting without
+    retaining a single envelope list. [p2p] message counts stay in
+    [result.p2p_messages], which is always tallied. *)
+
 type result = {
   outputs : (int * Msg.t) list;  (** honest parties only, by id *)
   adv_output : Msg.t;
@@ -35,6 +49,7 @@ type result = {
   rounds_used : int;
   p2p_messages : int;
   trace : Trace.t;
+  comm : comm option;  (** [Some] iff the run passed [~record_comm:true] *)
 }
 
 type interceptor = round:int -> Envelope.t list -> Envelope.t list
@@ -53,6 +68,8 @@ val run :
   inputs:Msg.t array ->
   ?aux:Msg.t ->
   ?record_trace:bool ->
+  ?record_comm:bool ->
+  ?reuse_envelopes:bool ->
   ?faults:(rng:Sb_util.Rng.t -> interceptor) ->
   unit ->
   result
@@ -66,6 +83,21 @@ val run :
     incrementally and unaffected. Monte-Carlo samplers, which never
     read the trace, pass [false]; outputs are identical either way.
 
+    [record_comm] (default [false]): when [true], tally per-run
+    communication totals into [result.comm] — incrementally, as each
+    round's traffic is routed, never by retaining envelope lists. The
+    tallies read delivered traffic only and touch no RNG stream, so
+    outputs are byte-identical either way.
+
+    [reuse_envelopes] (default [false]): when [true] and [ctx] carries
+    an arena pool ({!Ctx.make} [?pool]), the run flips the arena once
+    per round so envelope records allocated two rounds ago are
+    recycled. Requires [record_trace:false] and no [faults]
+    (Invalid_argument otherwise): both retain envelopes past the
+    one-round grace window. Adversaries that stash delivered envelopes
+    across rounds must not be combined with this flag. Outputs are
+    byte-identical with or without reuse.
+
     [faults], when given, is called once per run with a dedicated RNG
     stream (split from [rng] after the party/adversary/functionality
     streams, so a run with an inert interceptor is byte-identical to a
@@ -75,8 +107,17 @@ val run :
     pre-fault; what the interceptor drops simply never arrives. *)
 
 val honest_run :
-  Ctx.t -> rng:Sb_util.Rng.t -> protocol:Protocol.t -> inputs:Msg.t array -> result
-(** [run] with the passive adversary. *)
+  ?record_trace:bool ->
+  ?record_comm:bool ->
+  ?reuse_envelopes:bool ->
+  Ctx.t ->
+  rng:Sb_util.Rng.t ->
+  protocol:Protocol.t ->
+  inputs:Msg.t array ->
+  result
+(** [run] with the passive adversary; the optional flags are passed
+    through (they precede [ctx] so plain [honest_run ctx ...] callers
+    erase them). *)
 
 val log_src : Logs.src
 (** Per-round debug events ("sb.network"); enable with

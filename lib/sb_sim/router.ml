@@ -12,6 +12,10 @@ let dummy = Envelope.make ~src:0 ~dst:0 Msg.Unit
 
 let buf_create () = { seqs = [||]; envs = [||]; len = 0 }
 
+let buf_create_cap cap =
+  if cap = 0 then buf_create ()
+  else { seqs = Array.make cap 0; envs = Array.make cap dummy; len = 0 }
+
 let buf_push b seq env =
   let cap = Array.length b.seqs in
   if b.len = cap then begin
@@ -39,10 +43,10 @@ type t = {
   mutable bcast_list : Envelope.t list option;
 }
 
-let create n =
+let create ?(cap = 0) n =
   {
-    direct = Array.init n (fun _ -> buf_create ());
-    bcast = buf_create ();
+    direct = Array.init n (fun _ -> buf_create_cap cap);
+    bcast = buf_create_cap cap;
     next_seq = 0;
     bcast_list = None;
   }
@@ -129,3 +133,12 @@ let delivered_to_any t ids =
 let to_list t = merge_bufs (Array.append [| t.bcast |] t.direct)
 
 let length t = Array.fold_left (fun acc b -> acc + b.len) t.bcast.len t.direct
+
+(* Delivery count including broadcast fan-out: what the flat-queue
+   reconstruction [to_list]/[inbox] would sum to across all parties —
+   without materialising any list. O(n) in the party count. *)
+let total t =
+  Array.fold_left
+    (fun acc b -> acc + b.len)
+    (t.bcast.len * Array.length t.direct)
+    t.direct

@@ -23,8 +23,12 @@
 
 type t
 
-val create : int -> t
-(** [create n] makes an empty router for parties [0 .. n-1]. *)
+val create : ?cap:int -> int -> t
+(** [create n] makes an empty router for parties [0 .. n-1].
+    [?cap] preallocates every mailbox (and the broadcast buffer) with
+    that capacity, so a run whose per-round per-recipient volume is
+    known up front never grows a buffer mid-round. Default 0: grow on
+    demand. *)
 
 val clear : t -> unit
 (** Empty all mailboxes, retaining their capacity (the round loop
@@ -58,3 +62,10 @@ val to_list : t -> Envelope.t list
 
 val length : t -> int
 (** Routed envelope count (broadcasts counted once). *)
+
+val total : t -> int
+(** Delivery count including broadcast fan-out: the sum over parties
+    of their {!inbox} lengths, i.e. what reconstructing the flat
+    queue and re-filtering per party would count — computed in O(n)
+    with no list materialised. Feeds the [deliveries] tally of
+    [Network.run ~record_comm]. *)

@@ -67,3 +67,18 @@ let map2 f a b =
   Array.init (Array.length a) (fun i -> f a.(i) b.(i))
 
 let xor = map2 ( <> )
+
+(* In-place membership vectors for the substrates' receive/echo sets.
+   The immutable [t] above copies the whole vector on [set] — O(n) per
+   recorded message, O(n^3) per session once n^2 messages flow — so the
+   hot loops keep one of these per session and mutate it instead. *)
+module Mut = struct
+  type mut = bool array
+
+  let create n = Array.make n false
+  let length = Array.length
+  let get (v : mut) i = v.(i)
+  let set (v : mut) i b = v.(i) <- b
+  let popcount (v : mut) = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v
+  let snapshot : mut -> t = Array.copy
+end

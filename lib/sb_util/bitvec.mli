@@ -61,3 +61,30 @@ val all : int -> t list
 
 val map2 : (bool -> bool -> bool) -> t -> t -> t
 val xor : t -> t -> t
+
+(** Mutable membership vectors for hot loops.
+
+    [set] on the immutable {!t} copies the whole vector, which turns a
+    substrate's per-delivery receive-set update into O(n) — O(n^3) per
+    single-sender session. Sessions that record one bit per incoming
+    message (Bracha/send-echo echo sets, Dolev-Strong signer masks,
+    EIG path distinctness) keep one [Mut.mut] per session instead and
+    update it in place; scratch users clear just the bits they set, so
+    reuse stays O(len) per check. *)
+module Mut : sig
+  type mut
+
+  val create : int -> mut
+  (** All-false vector of the given length. *)
+
+  val length : mut -> int
+  val get : mut -> int -> bool
+
+  val set : mut -> int -> bool -> unit
+  (** In-place update. *)
+
+  val popcount : mut -> int
+
+  val snapshot : mut -> t
+  (** Immutable copy of the current state. *)
+end

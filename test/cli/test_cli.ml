@@ -178,6 +178,42 @@ let test_sessions_count_validation () =
   Alcotest.(check int) "negative count exits 2" 2
     (command [ "sessions"; "bracha"; "--count=-4" ])
 
+(* --- experiment --n-max --------------------------------------------- *)
+
+let test_experiment_n_max_validation () =
+  (* Malformed --n-max is a usage error with exit 2 (distinct from
+     cmdliner's 124 for unparseable arguments), and the flag only
+     applies to the E17 scaling sweep. *)
+  Alcotest.(check int) "n-max 0 exits 2" 2
+    (command [ "experiment"; "e17"; "--quick"; "--n-max"; "0" ]);
+  Alcotest.(check int) "negative n-max exits 2" 2
+    (command [ "experiment"; "e17"; "--quick"; "--n-max=-5" ]);
+  Alcotest.(check int) "non-integer n-max exits 2" 2
+    (command [ "experiment"; "e17"; "--quick"; "--n-max"; "many" ]);
+  Alcotest.(check int) "n-max below the smallest E17 size exits 2" 2
+    (command [ "experiment"; "e17"; "--quick"; "--n-max"; "64" ]);
+  Alcotest.(check int) "n-max on a non-e17 experiment exits 2" 2
+    (command [ "experiment"; "e4"; "--quick"; "--n-max"; "128" ])
+
+let test_experiment_e17_quick_report () =
+  (* A capped quick sweep exits 0 and writes a validating report whose
+     single experiment entry is E17 and ok. *)
+  let report = temp ".e17.json" in
+  Alcotest.(check int) "e17 quick exits 0" 0
+    (command [ "experiment"; "e17"; "--quick"; "--n-max"; "128"; "--report"; report ]);
+  let json = parse_file report in
+  (match Report.validate json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "e17 report invalid: %s" e);
+  match Option.bind (Json.member "experiments" json) Json.to_list_opt with
+  | Some [ e ] ->
+      Alcotest.(check (option string))
+        "id" (Some "E17")
+        (Option.bind (Json.member "id" e) Json.to_str_opt);
+      Alcotest.(check bool) "ok" true
+        (match Json.member "ok" e with Some (Json.Bool b) -> b | _ -> false)
+  | _ -> Alcotest.fail "expected exactly one experiment entry"
+
 let test_sessions_jobs_invariant () =
   (* End-to-end jobs-invariance: stdout minus the wall-clock-derived
      throughput line, the JSONL session log, and the report's sessions
@@ -327,6 +363,10 @@ let () =
           Alcotest.test_case "tracing keeps reports identical (jobs 1, 2)" `Quick
             test_trace_keeps_reports_identical;
           Alcotest.test_case "perf-diff exit codes" `Quick test_perf_diff_exit_codes;
+          Alcotest.test_case "experiment --n-max validation" `Quick
+            test_experiment_n_max_validation;
+          Alcotest.test_case "e17 quick report validates" `Quick
+            test_experiment_e17_quick_report;
           Alcotest.test_case "sessions --count validation" `Quick
             test_sessions_count_validation;
           Alcotest.test_case "sessions jobs-invariant (jobs 1, 2)" `Quick

@@ -634,12 +634,206 @@ module Seed_dolev_strong = struct
     }
 end
 
+(* Pinned pre-Bitvec send-echo: per-source hashtable of echoes with
+   Hashtbl.replace last-write-wins, per-envelope session wrapping. The
+   library now keeps a mutable membership vector plus a value array
+   and wraps once per broadcast. *)
+module Seed_send_echo = struct
+  module Session = Sb_broadcast.Session
+
+  let default = Msg.Bit false
+
+  let scheme =
+    {
+      Session.scheme_name = "send-echo-seed";
+      rounds = (fun _ -> 2);
+      create =
+        (fun ctx ~rng:_ ~sid ~sender ~me ~value ->
+          assert ((me = sender) = Option.is_some value);
+          let n = ctx.Ctx.n in
+          let received = ref None in
+          let echoes = Hashtbl.create 8 in
+          let send_all m =
+            List.map
+              (fun (e : Envelope.t) ->
+                { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
+              (Envelope.to_all ~n ~src:me m)
+          in
+          let step ~round ~inbox =
+            let payloads =
+              List.filter_map
+                (fun (e : Envelope.t) ->
+                  match (Envelope.src_party e, Session.unwrap ~sid e.Envelope.body) with
+                  | Some src, Some m -> Some (src, m)
+                  | _ -> None)
+                inbox
+            in
+            match round with
+            | 0 -> (
+                match value with
+                | Some v ->
+                    received := Some v;
+                    send_all v
+                | None -> [])
+            | 1 ->
+                if me <> sender then
+                  received :=
+                    Some
+                      (match List.assoc_opt sender payloads with
+                      | Some m -> m
+                      | None -> default);
+                let v = Option.value !received ~default in
+                send_all (Msg.Tag ("echo", v))
+            | 2 ->
+                List.iter
+                  (fun (src, m) ->
+                    match m with
+                    | Msg.Tag ("echo", v) -> Hashtbl.replace echoes src v
+                    | _ -> ())
+                  payloads;
+                []
+            | _ -> []
+          in
+          let result () =
+            let counts = Hashtbl.create 8 in
+            for src = 0 to n - 1 do
+              let v =
+                match Hashtbl.find_opt echoes src with Some v -> v | None -> default
+              in
+              let key = Msg.serialize v in
+              let c =
+                match Hashtbl.find_opt counts key with Some (c, _) -> c | None -> 0
+              in
+              Hashtbl.replace counts key (c + 1, v)
+            done;
+            let best = ref (0, default) in
+            Hashtbl.iter (fun _ (c, v) -> if c > fst !best then best := (c, v)) counts;
+            snd !best
+          in
+          { Session.step; result });
+    }
+end
+
+(* Pinned pre-Bitvec EIG: path distinctness via sort_uniq over the
+   whole list (indices unconstrained), per-envelope session wrapping.
+   The library now marks a scratch membership vector for in-range
+   paths and falls back to exactly this check on any out-of-range
+   index. *)
+module Seed_eig = struct
+  module Session = Sb_broadcast.Session
+
+  let default = Msg.Bit false
+
+  let encode_pair (path, v) =
+    Msg.List [ Msg.List (List.map (fun i -> Msg.Int i) path); v ]
+
+  let decode_pair = function
+    | Msg.List [ Msg.List path; v ] ->
+        let ints = List.filter_map (function Msg.Int i -> Some i | _ -> None) path in
+        if List.length ints = List.length path then Some (ints, v) else None
+    | _ -> None
+
+  let distinct l = List.length (List.sort_uniq Int.compare l) = List.length l
+
+  let scheme =
+    {
+      Session.scheme_name = "eig-seed";
+      rounds = (fun ctx -> ctx.Ctx.thresh + 1);
+      create =
+        (fun ctx ~rng:_ ~sid ~sender ~me ~value ->
+          assert ((me = sender) = Option.is_some value);
+          let n = ctx.Ctx.n in
+          let t = ctx.Ctx.thresh in
+          let tree : (int list, Msg.t) Hashtbl.t = Hashtbl.create 64 in
+          let last_level : (int list * Msg.t) list ref = ref [] in
+          let store ~round inbox =
+            List.iter
+              (fun (e : Envelope.t) ->
+                let src = Envelope.src_party e in
+                match Option.map Msg.to_list_exn (Session.unwrap ~sid e.Envelope.body) with
+                | Some pairs ->
+                    List.iter
+                      (fun pair ->
+                        match decode_pair pair with
+                        | Some (path, v)
+                          when List.length path = round
+                               && distinct path
+                               && (match path with p0 :: _ -> p0 = sender | [] -> false)
+                               && (match List.rev path with
+                                  | last :: _ -> Some last = src
+                                  | [] -> false)
+                               && not (Hashtbl.mem tree path) ->
+                            Hashtbl.replace tree path v;
+                            last_level := (path, v) :: !last_level
+                        | _ -> ())
+                      pairs
+                | None -> ()
+                | exception Invalid_argument _ -> ())
+              inbox
+          in
+          let broadcast_pairs pairs =
+            if pairs = [] then []
+            else
+              List.map
+                (fun (e : Envelope.t) ->
+                  { e with Envelope.body = Session.wrap ~sid e.Envelope.body })
+                (Envelope.to_all ~n ~src:me (Msg.List (List.map encode_pair pairs)))
+          in
+          let step ~round ~inbox =
+            last_level := [];
+            store ~round inbox;
+            if round = 0 then (
+              match value with
+              | Some v ->
+                  Hashtbl.replace tree [ sender ] v;
+                  broadcast_pairs [ ([ sender ], v) ]
+              | None -> [])
+            else if round <= t then
+              broadcast_pairs
+                (List.filter_map
+                   (fun (path, v) ->
+                     if List.mem me path then None else Some (path @ [ me ], v))
+                   !last_level)
+            else []
+          in
+          let result () =
+            let rec resolve path =
+              if List.length path = t + 1 then
+                Option.value (Hashtbl.find_opt tree path) ~default
+              else begin
+                let children =
+                  List.filter_map
+                    (fun j ->
+                      if List.mem j path then None else Some (resolve (path @ [ j ])))
+                    (List.init n Fun.id)
+                in
+                let counts = Hashtbl.create 8 in
+                List.iter
+                  (fun v ->
+                    let key = Msg.serialize v in
+                    let c =
+                      match Hashtbl.find_opt counts key with Some (c, _) -> c | None -> 0
+                    in
+                    Hashtbl.replace counts key (c + 1, v))
+                  children;
+                let best = ref (0, default) in
+                Hashtbl.iter (fun _ (c, v) -> if c > fst !best then best := (c, v)) counts;
+                if 2 * fst !best > List.length children then snd !best else default
+              end
+            in
+            if t = 0 then Option.value (Hashtbl.find_opt tree [ sender ]) ~default
+            else resolve [ sender ]
+          in
+          { Session.step; result });
+    }
+end
+
 (* One deterministic adversarial scenario: everything (context,
    network schedule, adversarial traffic) is derived from [seed]
    alone, so running two schemes under the same seed feeds them
    identical traffic and their honest outputs must match exactly. *)
-let differential_outputs scheme ~sender ~adv ~seed =
-  let ctx = Ctx.make ~rng:(Sb_util.Rng.create (70000 + seed)) ~n:5 ~thresh:1 ~k:8 () in
+let differential_outputs ?(thresh = 1) scheme ~sender ~adv ~seed =
+  let ctx = Ctx.make ~rng:(Sb_util.Rng.create (70000 + seed)) ~n:5 ~thresh ~k:8 () in
   let inputs = Array.init 5 (fun i -> Msg.Bit ((seed + i) mod 2 = 0)) in
   let r =
     Network.run ctx
@@ -740,6 +934,98 @@ let ds_chaos ~seed =
         });
   }
 
+(* Chaos traffic for send-echo: duplicate "echo"-tagged messages with
+   conflicting values per destination (the per-source slot must keep
+   the LAST write, as Hashtbl.replace did), malformed payloads, and —
+   when the corrupted party is the sender — an equivocating round-0
+   send. *)
+let se_chaos ~corrupt ~seed =
+  {
+    Adversary.name = "se-chaos";
+    choose_corrupt = (fun _ ~rng:_ -> [ corrupt ]);
+    init =
+      (fun ctx ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+        let arng = Sb_util.Rng.create (91000 + seed) in
+        {
+          Adversary.act =
+            (fun view ->
+              let round = view.Adversary.round in
+              if round = 0 then
+                List.init ctx.Ctx.n (fun dst ->
+                    Envelope.make ~src:corrupt ~dst
+                      (Sb_broadcast.Session.wrap ~sid:"test" (Msg.Bit (dst mod 2 = 0))))
+              else if round = 1 then
+                (* Delivered at round 2, when echoes are recorded. *)
+                List.concat
+                  (List.init ctx.Ctx.n (fun dst ->
+                       List.init 3 (fun _ ->
+                           let m =
+                             match Sb_util.Rng.int arng 4 with
+                             | 0 -> Msg.Tag ("echo", Msg.Bit true)
+                             | 1 -> Msg.Tag ("echo", Msg.Bit false)
+                             | 2 -> Msg.Tag ("echo", Msg.Int (Sb_util.Rng.int arng 3))
+                             | _ -> Msg.Str "junk"
+                           in
+                           Envelope.make ~src:corrupt ~dst
+                             (Sb_broadcast.Session.wrap ~sid:"test" m))))
+              else []);
+          adv_output = (fun () -> Msg.Unit);
+        });
+  }
+
+(* Chaos traffic for EIG (run at thresh = 2 so level-3 paths exist):
+   encoded path/value pairs under every shape the store predicate
+   discriminates on — a valid relay, out-of-range and negative middle
+   indices (the library's fast path must fall back to the seed's
+   sort_uniq check, never crash), duplicate indices, wrong first/last
+   elements, wrong lengths and non-integer path entries. *)
+let eig_chaos ~seed =
+  {
+    Adversary.name = "eig-chaos";
+    choose_corrupt = (fun _ ~rng:_ -> [ 4 ]);
+    init =
+      (fun ctx ~rng:_ ~corrupted:_ ~inputs:_ ~aux:_ ->
+        let arng = Sb_util.Rng.create (93000 + seed) in
+        let pair path v =
+          Msg.List [ Msg.List (List.map (fun i -> Msg.Int i) path); v ]
+        in
+        {
+          Adversary.act =
+            (fun view ->
+              let round = view.Adversary.round in
+              if round < 1 || round > 2 then []
+              else
+                let v () = Msg.Bit (Sb_util.Rng.bool arng) in
+                let pairs =
+                  if round = 1 then
+                    (* Delivered at round 2: length-2 paths compete. *)
+                    [
+                      pair [ 0; 4 ] (v ());
+                      pair [ 4; 4 ] (v ());
+                      pair [ 1; 4 ] (v ());
+                      pair [ 0; 9 ] (v ());
+                      pair [ 0 ] (v ());
+                      Msg.List [ Msg.List [ Msg.Str "x"; Msg.Int 4 ]; v () ];
+                    ]
+                  else
+                    (* Delivered at round 3 = t + 1: length-3 paths,
+                       including out-of-range middles that only the
+                       sort_uniq fallback can judge. *)
+                    [
+                      pair [ 0; 1; 4 ] (v ());
+                      pair [ 0; 9; 4 ] (v ());
+                      pair [ 0; -1; 4 ] (v ());
+                      pair [ 0; 0; 4 ] (v ());
+                      pair [ 1; 9; 4 ] (v ());
+                      pair [ 0; 9; 9; 4 ] (v ());
+                    ]
+                in
+                Envelope.to_all ~n:ctx.Ctx.n ~src:4
+                  (Sb_broadcast.Session.wrap ~sid:"test" (Msg.List pairs)));
+          adv_output = (fun () -> Msg.Unit);
+        });
+  }
+
 let outputs_t = Alcotest.(list (pair int string))
 
 let test_bracha_differential () =
@@ -763,6 +1049,30 @@ let test_dolev_strong_differential () =
     Alcotest.check outputs_t "dolev-strong vs seed (chain chaos)"
       (differential_outputs Seed_dolev_strong.scheme ~sender:0 ~adv:ds_chaos ~seed)
       (differential_outputs Sb_broadcast.Dolev_strong.scheme ~sender:0 ~adv:ds_chaos ~seed)
+  done
+
+let test_send_echo_differential () =
+  for seed = 1 to 25 do
+    (* Corrupted non-sender flooding conflicting echoes. *)
+    Alcotest.check outputs_t "send-echo vs seed (chaotic echoer)"
+      (differential_outputs Seed_send_echo.scheme ~sender:0 ~adv:(se_chaos ~corrupt:4)
+         ~seed)
+      (differential_outputs Sb_broadcast.Send_echo.scheme ~sender:0
+         ~adv:(se_chaos ~corrupt:4) ~seed);
+    (* Corrupted sender: equivocating round-0 send plus echo chaos. *)
+    Alcotest.check outputs_t "send-echo vs seed (chaotic sender)"
+      (differential_outputs Seed_send_echo.scheme ~sender:0 ~adv:(se_chaos ~corrupt:0)
+         ~seed)
+      (differential_outputs Sb_broadcast.Send_echo.scheme ~sender:0
+         ~adv:(se_chaos ~corrupt:0) ~seed)
+  done
+
+let test_eig_differential () =
+  for seed = 1 to 25 do
+    Alcotest.check outputs_t "eig vs seed (path chaos)"
+      (differential_outputs ~thresh:2 Seed_eig.scheme ~sender:0 ~adv:eig_chaos ~seed)
+      (differential_outputs ~thresh:2 Sb_broadcast.Eig.scheme ~sender:0 ~adv:eig_chaos
+         ~seed)
   done
 
 let () =
@@ -796,6 +1106,9 @@ let () =
             test_bracha_differential;
           Alcotest.test_case "dolev-strong bitvec = seed semantics" `Quick
             test_dolev_strong_differential;
+          Alcotest.test_case "send-echo slots = seed semantics" `Quick
+            test_send_echo_differential;
+          Alcotest.test_case "eig distinct = seed semantics" `Quick test_eig_differential;
         ] );
       ( "phase-king",
         [

@@ -311,6 +311,46 @@ let test_modgroup_pow_boundaries () =
            (Modgroup.mul (Modgroup.pow Modgroup.g e) (Modgroup.pow Modgroup.h e))))
     [ 0; 1; 15; 16; 255; 256; Field.p - 1 ]
 
+(* --- Montgomery arithmetic ----------------------------------------- *)
+
+let qcheck_mont_roundtrip =
+  QCheck.Test.make ~name:"REDC round-trip: to_elt (of_elt x) = x" ~count:1000
+    arbitrary_member (fun x ->
+      Modgroup.equal (Modgroup.Mont.to_elt (Modgroup.Mont.of_elt x)) x)
+
+let qcheck_mont_mul_matches_group =
+  QCheck.Test.make ~name:"mont mul = group mul" ~count:1000
+    QCheck.(pair arbitrary_member arbitrary_member)
+    (fun (a, b) ->
+      Modgroup.equal
+        (Modgroup.Mont.to_elt
+           (Modgroup.Mont.mul (Modgroup.Mont.of_elt a) (Modgroup.Mont.of_elt b)))
+        (Modgroup.mul a b))
+
+let qcheck_mont_pow_matches_naive =
+  (* Arbitrary bases dispatch to the Montgomery ladder in [pow]; the
+     division ladder [pow_naive] is the reference. *)
+  QCheck.Test.make ~name:"arbitrary-base pow = naive pow" ~count:500
+    QCheck.(pair arbitrary_member arbitrary_fe)
+    (fun (b, e) -> Modgroup.equal (Modgroup.pow b e) (Modgroup.pow_naive b e))
+
+let test_mont_pow_boundaries () =
+  (* Exponent edges for a non-g/h base: 0, 1, 2, q-2, q-1. *)
+  let b = Modgroup.pow_int Modgroup.g 777 in
+  List.iter
+    (fun e ->
+      let e = Field.of_int e in
+      Alcotest.(check bool) "pow edge = naive" true
+        (Modgroup.equal (Modgroup.pow b e) (Modgroup.pow_naive b e)))
+    [ 0; 1; 2; Field.p - 2; Field.p - 1 ];
+  Alcotest.(check bool) "mont one is the identity" true
+    (Modgroup.equal Modgroup.one (Modgroup.Mont.to_elt Modgroup.Mont.one));
+  let m = Modgroup.Mont.of_elt b in
+  Alcotest.(check bool) "in-domain m^0 = 1" true
+    (Modgroup.equal Modgroup.one (Modgroup.Mont.to_elt (Modgroup.Mont.pow m 0)));
+  Alcotest.(check bool) "in-domain m^1 = b" true
+    (Modgroup.equal b (Modgroup.Mont.to_elt (Modgroup.Mont.pow m 1)))
+
 let test_modgroup_exponent_arith () =
   (* g^a * g^b = g^(a+b mod q). *)
   let a = Field.of_int 1000000 and b = Field.of_int (Field.p - 3) in
@@ -547,6 +587,10 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_modgroup_pow_g_windowed;
           QCheck_alcotest.to_alcotest qcheck_modgroup_pow_h_windowed;
           QCheck_alcotest.to_alcotest qcheck_modgroup_pow_gh_fused;
+          Alcotest.test_case "montgomery boundaries" `Quick test_mont_pow_boundaries;
+          QCheck_alcotest.to_alcotest qcheck_mont_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_mont_mul_matches_group;
+          QCheck_alcotest.to_alcotest qcheck_mont_pow_matches_naive;
           Alcotest.test_case "honest shares verify" `Quick test_feldman_verifies_honest;
           Alcotest.test_case "bad share rejected" `Quick test_feldman_rejects_bad_share;
           Alcotest.test_case "binding across sharings" `Quick test_feldman_binding_across_sharings;

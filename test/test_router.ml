@@ -92,6 +92,21 @@ let test_router_clear_and_reuse () =
     (List.filter (fun e -> Envelope.delivered_to e 0) queue)
     (Router.inbox r 0)
 
+let test_router_total () =
+  (* [total] counts deliveries — broadcasts once per party — so it must
+     equal the sum of all inbox lengths, without materializing them. *)
+  let n = 4 in
+  let queue = mixed_queue n in
+  let r = Router.create n in
+  List.iter (Router.route r) queue;
+  let by_inbox = ref 0 in
+  for i = 0 to n - 1 do
+    by_inbox := !by_inbox + List.length (Router.inbox r i)
+  done;
+  Alcotest.(check int) "total" !by_inbox (Router.total r);
+  Router.clear r;
+  Alcotest.(check int) "total after clear" 0 (Router.total r)
+
 (* --- Differential: engine vs flat-filter semantics ---------------- *)
 
 (* Wrap a protocol so every honest party records the inbox the engine
@@ -216,6 +231,7 @@ let () =
           Alcotest.test_case "delivered_to_any" `Quick test_router_delivered_to_any;
           Alcotest.test_case "rejects func-bound" `Quick test_router_rejects_func_bound;
           Alcotest.test_case "clear and reuse" `Quick test_router_clear_and_reuse;
+          Alcotest.test_case "total = sum of inboxes" `Quick test_router_total;
         ] );
       ("differential", differential_cases);
       ("parallel", [ Alcotest.test_case "jobs invariance" `Quick test_jobs_invariance ]);

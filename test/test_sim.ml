@@ -192,6 +192,34 @@ let test_envelope_wire_size () =
   Alcotest.(check int) "func" (2 + 1 + body_b)
     (Envelope.wire_size (Envelope.to_func ~src:9 body))
 
+let test_arena_generations () =
+  (* The two-sided pool's safety contract: a record handed out at flip
+     f is never re-handed while it can still sit in a live mailbox
+     (flip f+1); from flip f+2 on the same records come back, fields
+     rewritten. *)
+  let a = Envelope.Arena.create () in
+  Alcotest.(check int) "fresh arena" 0 (Envelope.Arena.flips a);
+  let batch0 = Envelope.Arena.to_all a ~n:4 ~src:0 (Msg.Str "g0") in
+  Envelope.Arena.flip a;
+  let batch1 = Envelope.Arena.to_all a ~n:4 ~src:1 (Msg.Str "g1") in
+  List.iter
+    (fun e1 ->
+      Alcotest.(check bool) "one flip apart: no aliasing with live batch" false
+        (List.memq e1 batch0))
+    batch1;
+  Envelope.Arena.flip a;
+  Alcotest.(check int) "two flips" 2 (Envelope.Arena.flips a);
+  let batch2 = Envelope.Arena.to_all a ~n:4 ~src:2 (Msg.Str "g2") in
+  List.iteri
+    (fun i e2 ->
+      Alcotest.(check bool) "two flips apart: same records recycled in order" true
+        (e2 == List.nth batch0 i);
+      Alcotest.(check bool) "still distinct from the previous generation" false
+        (List.memq e2 batch1);
+      Alcotest.(check bool) "recycled fields are rewritten" true
+        (Msg.equal e2.Envelope.body (Msg.Str "g2") && Envelope.src_party e2 = Some 2))
+    batch2
+
 (* --- Network: basic delivery ------------------------------------- *)
 
 (* A protocol where party 0 sends its input to everyone in round 0 and
@@ -492,6 +520,7 @@ let () =
         [
           Alcotest.test_case "addressing" `Quick test_envelope_addressing;
           Alcotest.test_case "wire size" `Quick test_envelope_wire_size;
+          Alcotest.test_case "arena generations" `Quick test_arena_generations;
         ] );
       ( "network",
         [
