@@ -43,7 +43,7 @@ let print_outcome (o : Core.Experiments.outcome) =
 
 let run_experiments setup ids =
   let entries =
-    if ids = [] then Core.Experiments.registry
+    if ids = [] then Core.Experiments.catalogue ()
     else
       List.filter_map
         (fun id ->
@@ -204,10 +204,14 @@ let usage () =
   Printf.eprintf "known experiment ids: %s\n"
     (String.concat " "
        (List.map (fun (e : Core.Experiments.entry) -> e.Core.Experiments.id)
-          Core.Experiments.registry));
+          (Core.Experiments.catalogue ())));
   exit 2
 
 let () =
+  (* E18 lives in sb_workload (it needs the session engine); register
+     it before anything touches the catalogue so the default
+     run-everything loop and the id filter both see it. *)
+  Sb_workload.E18.register ();
   (* The bench run is the perf-trajectory artifact: observability on. *)
   Sb_obs.Metrics.set_enabled true;
   Sb_obs.Span.set_enabled true;
@@ -282,9 +286,10 @@ let () =
   let delivery_timings = Delivery_probe.run () in
   Delivery_probe.print_summary delivery_timings;
   let session_timings, sessions_block = Sessions.run ~count:session_count () in
+  let workload_timings = Workloads.run () in
   let timings =
     timings @ [ run_gtester_smoke () ] @ crypto_timings @ delivery_timings
-    @ session_timings
+    @ session_timings @ workload_timings
   in
   print_comm ();
   let tag =

@@ -27,13 +27,12 @@ let substrate name =
 let probes ~count =
   let third = count / 3 in
   [
-    ( "sessions/bracha",
-      [ { Engine.protocol = substrate "concurrent-bracha"; count } ] );
+    ("sessions/bracha", [ Engine.spec (substrate "concurrent-bracha") count ]);
     ( "sessions/mixed",
       [
-        { Engine.protocol = substrate "concurrent-bracha"; count = count - (2 * third) };
-        { Engine.protocol = substrate "concurrent-dolev-strong"; count = third };
-        { Engine.protocol = Sb_protocols.Commit_open.protocol; count = third };
+        Engine.spec (substrate "concurrent-bracha") (count - (2 * third));
+        Engine.spec (substrate "concurrent-dolev-strong") third;
+        Engine.spec Sb_protocols.Commit_open.protocol third;
       ] );
   ]
 

@@ -1,0 +1,31 @@
+(* Application-workload probe.
+
+   Runs the quick tier of every sb_workload catalogue entry (election,
+   auction, lottery) at a fixed seed through the work-stealing session
+   scheduler and records the per-session cost as "workload/..."
+   entries in the BENCH_*.json timings block. CI holds them to the
+   perf-diff threshold against the committed quick baseline alongside
+   sessions/ and delivery/, so a scheduler or engine regression on the
+   heavy-tailed application mixes shows up as a timings slowdown. *)
+
+open Sb_session
+
+let seed = 23
+
+let entry name ns = { Sb_obs.Report.bench_name = name; ns_per_run = ns; r_square = 1.0 }
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let run () =
+  List.map
+    (fun name ->
+      match Sb_workload.Workload.run ~quick:true ~seed name with
+      | Error e -> invalid_arg (Printf.sprintf "workload probe %s: %s" name e)
+      | Ok o ->
+          let agg = o.Sb_workload.Workload.aggregate in
+          say "== workload/%s: %d sessions (%d consistent, %d shards) in %.2fs — %.0f \
+               sessions/s, %d steals =="
+            name agg.Engine.sessions agg.Engine.consistent agg.Engine.shards
+            agg.Engine.wall_s agg.Engine.sessions_per_sec agg.Engine.steals;
+          entry ("workload/" ^ name)
+            (agg.Engine.wall_s *. 1e9 /. float_of_int agg.Engine.sessions))
+    Sb_workload.Workload.names

@@ -128,6 +128,21 @@ let jobs_arg =
   in
   Arg.(value & opt (some pos_int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
 
+let sched_arg =
+  let doc =
+    "Session scheduler: $(b,steal) (fine-grained shards claimed from a shared atomic \
+     counter; default) or $(b,static) (historical coarse ≤32-shard layout). Reports \
+     are byte-identical at every --jobs under either; the two differ only in shard \
+     assignment and wall clock."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("steal", Sb_session.Engine.Steal); ("static", Sb_session.Engine.Static) ])
+        Sb_session.Engine.Steal
+    & info [ "sched" ] ~doc ~docv:"MODE")
+
 let setup_jobs = function
   | None -> ()
   | Some j -> Sb_par.Pool.set_default_domains j
@@ -188,7 +203,7 @@ let setup_obs ?trace metrics report =
 
 (* Instrumentation never touches the split RNG streams, so the printed
    protocol outputs are identical with or without these flags. *)
-let finish_obs ?(experiments = []) ?trace ?sessions ?check ~tag metrics report =
+let finish_obs ?(experiments = []) ?trace ?sessions ?check ?workload ~tag metrics report =
   (match trace with
   | None -> ()
   | Some file -> (
@@ -210,7 +225,7 @@ let finish_obs ?(experiments = []) ?trace ?sessions ?check ~tag metrics report =
       let report =
         Sb_obs.Report.make ~tool:"simbcast" ~tag
           ~jobs:(Sb_par.Pool.get_default_domains ())
-          ~experiments ?trace:trace_block ?sessions ?check ()
+          ~experiments ?trace:trace_block ?sessions ?check ?workload ()
       in
       try
         Sb_obs.Report.write_file file report;
@@ -241,7 +256,9 @@ let list_cmd =
     Sb_util.Tabular.print table;
     Printf.printf "distributions: %s\n" (String.concat ", " dist_names);
     Printf.printf "adversaries  : %s\n" (String.concat ", " adversary_names);
-    Printf.printf "experiments  : e1..e8, e10..e17  (see bench/main.exe; e9 = its timing section)\n";
+    Printf.printf "experiments  : e1..e8, e10..e18  (see bench/main.exe; e9 = its timing section)\n";
+    Printf.printf "workloads    : %s  (workload, quick/full tiers)\n"
+      (String.concat ", " Sb_workload.Workload.names);
     Printf.printf "fault plans  : crash:P@R  drop:PROB[:S->D][@R]  delay:BY[:S->D][@R]  part:G|G@A-B  (fault-sweep, run --faults)\n";
     Printf.printf "checkable    : %s  (check, n <= %d)\n"
       (String.concat ", " (List.map fst Sb_check.Checker.schemes))
@@ -490,7 +507,7 @@ let exact_cmd =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id (e1..e8, e10..e17)." in
+    let doc = "Experiment id (e1..e8, e10..e18)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let quick_arg =
@@ -547,7 +564,7 @@ let experiment_cmd =
     match found with
     | None ->
         fail "unknown experiment %S (try: %s)" id
-          (String.concat ", " Core.Experiments.ids)
+          (String.concat ", " (Core.Experiments.ids ()))
     | Some e ->
         let t0 = Unix.gettimeofday () in
         let o = e.Core.Experiments.run setup in
@@ -584,7 +601,7 @@ let experiment_cmd =
         `Ok ()
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E17)")
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's claims (E1..E18)")
     Term.(
       ret
         (const run $ id_arg $ quick_arg $ csv_arg $ n_max_arg $ metrics_arg $ report_arg
@@ -704,7 +721,7 @@ let fault_sweep_cmd =
 
 let profile_cmd =
   let id_arg =
-    let doc = "Experiment id to profile (e1..e8, e10..e17)." in
+    let doc = "Experiment id to profile (e1..e8, e10..e18)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let quick_arg =
@@ -721,7 +738,7 @@ let profile_cmd =
     Sb_obs.Trace_ctx.set_enabled true;
     match Core.Experiments.find id with
     | None ->
-        fail "unknown experiment %S (try: %s)" id (String.concat ", " Core.Experiments.ids)
+        fail "unknown experiment %S (try: %s)" id (String.concat ", " (Core.Experiments.ids ()))
     | Some e ->
         let setup =
           if quick then Core.Setup.with_samples 2000 Core.Setup.default else Core.Setup.default
@@ -775,7 +792,7 @@ let sessions_cmd =
     in
     Arg.(value & opt (some string) None & info [ "session-log" ] ~doc ~docv:"FILE")
   in
-  let run pnames count n thresh seed dname metrics report session_log jobs =
+  let run pnames count n thresh seed dname metrics report session_log sched jobs =
     (* Match bench's contract for batch-size validation: a non-positive
        --count is a usage error with exit 2 (cmdliner's own parse
        failures exit 124, so this needs an explicit check). *)
@@ -811,10 +828,10 @@ let sessions_cmd =
             (fun i _ -> base > 0 || i < extra)
             (List.mapi
                (fun i protocol ->
-                 { Engine.protocol; count = (base + if i < extra then 1 else 0) })
+                 Engine.spec protocol (base + if i < extra then 1 else 0))
                protocols)
         in
-        let agg, reports = Engine.run ~setup ~dist specs (Sb_util.Rng.create seed) in
+        let agg, reports = Engine.run ~sched ~setup ~dist specs (Sb_util.Rng.create seed) in
         Printf.printf "sessions   : %d total, %d consistent, %d shards\n"
           agg.Engine.sessions agg.Engine.consistent agg.Engine.shards;
         Printf.printf "protocols  : %s\n"
@@ -831,6 +848,12 @@ let sessions_cmd =
         Printf.printf "throughput : %.1f sessions/s, %.1f msgs/s, %.1f B/s (wall %.3fs)\n"
           agg.Engine.sessions_per_sec agg.Engine.msgs_per_sec agg.Engine.bytes_per_sec
           agg.Engine.wall_s;
+        (* Scheduling-race observability (steal counts depend on the
+           claiming race, so CI's jobs-invariance diff filters this
+           line alongside the throughput one). *)
+        Printf.printf "sched      : %s, %d workers, %d steals\n"
+          (match agg.Engine.sched with Engine.Steal -> "steal" | Engine.Static -> "static")
+          agg.Engine.workers agg.Engine.steals;
         (match session_log with
         | None -> ()
         | Some file -> (
@@ -861,7 +884,111 @@ let sessions_cmd =
     Term.(
       ret
         (const run $ protos_arg $ count_arg $ n_arg $ thresh_arg $ seed_arg $ dist_arg
-       $ metrics_arg $ report_arg $ session_log_arg $ jobs_arg))
+       $ metrics_arg $ report_arg $ session_log_arg $ sched_arg $ jobs_arg))
+
+(* --- workload -------------------------------------------------------- *)
+
+let workload_cmd =
+  let name_arg =
+    let doc =
+      "Workload name: election (Broadbent–Tapp-style referendum), auction (sealed-bid \
+       lots), or lottery (XOR-coin draws)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let quick_arg =
+    let doc = "CI-sized tier (50k voters instead of 2M, etc.)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let session_log_arg =
+    let doc =
+      "Write one JSON object per session (JSON Lines) to $(docv) — byte-identical at \
+       every --jobs value."
+    in
+    Arg.(value & opt (some string) None & info [ "session-log" ] ~doc ~docv:"FILE")
+  in
+  let run name quick seed fault_spec metrics report session_log sched jobs =
+    (* Unknown workload names are usage errors with exit 2, matching
+       `sessions --count` and `check` (cmdliner's own parse failures
+       exit 124). *)
+    if not (List.mem name Sb_workload.Workload.names) then begin
+      Printf.eprintf "simbcast: unknown workload %S (try: %s)\n" name
+        (String.concat ", " Sb_workload.Workload.names);
+      exit 2
+    end;
+    setup_obs metrics report;
+    (* Comm totals and throughput come off the sim.* counter deltas,
+       exactly as in `sessions`. *)
+    Sb_obs.Metrics.set_enabled true;
+    setup_jobs jobs;
+    let faults =
+      match fault_spec with
+      | None -> Ok None
+      | Some s -> (
+          (* Party bounds are checked by the engine against the heavy
+             spec's own n, which varies per workload — only the syntax
+             is checked here. *)
+          match Sb_fault.Plan.of_string s with
+          | Error e -> Error (Printf.sprintf "--faults: %s" e)
+          | Ok plan -> Ok (Some plan))
+    in
+    match faults with
+    | Error e -> fail "%s" e
+    | Ok faults -> (
+        match
+          Sb_workload.Workload.run ?faults ~sched ~quick ~seed name
+        with
+        | Error e -> fail "%s" e
+        | Ok o ->
+            let open Sb_session in
+            let agg = o.Sb_workload.Workload.aggregate in
+            List.iter print_endline (Sb_workload.Workload.deterministic_lines o);
+            (* The wall-clock and scheduling-race lines; CI's
+               jobs-invariance diff filters both. *)
+            Printf.printf
+              "throughput : %.1f sessions/s, %.1f msgs/s, %.1f B/s (wall %.3fs)\n"
+              agg.Engine.sessions_per_sec agg.Engine.msgs_per_sec agg.Engine.bytes_per_sec
+              agg.Engine.wall_s;
+            Printf.printf "sched      : %s, %d workers, %d steals\n"
+              (match agg.Engine.sched with
+              | Engine.Steal -> "steal"
+              | Engine.Static -> "static")
+              agg.Engine.workers agg.Engine.steals;
+            (match session_log with
+            | None -> ()
+            | Some file -> (
+                try
+                  let oc = open_out file in
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () ->
+                      Array.iter
+                        (fun r ->
+                          output_string oc
+                            (Sb_obs.Json.to_string (Engine.session_report_to_json r));
+                          output_char oc '\n')
+                        o.Sb_workload.Workload.reports);
+                  Printf.printf "wrote %s\n" file
+                with Sys_error msg ->
+                  Printf.eprintf "simbcast: cannot write session log: %s\n" msg;
+                  exit 1));
+            finish_obs ~tag:"workload"
+              ~sessions:(Engine.aggregate_to_json agg)
+              ~workload:(Sb_workload.Workload.to_json o)
+              metrics report;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Run a benchmarked application workload (election / auction / lottery) — a \
+          heavy-tailed mix of broadcast sessions fed with application data, executed by \
+          the work-stealing session scheduler; the summary, session log and report \
+          workload block are byte-identical at every --jobs value")
+    Term.(
+      ret
+        (const run $ name_arg $ quick_arg $ seed_arg $ faults_arg $ metrics_arg
+       $ report_arg $ session_log_arg $ sched_arg $ jobs_arg))
 
 (* --- check ----------------------------------------------------------- *)
 
@@ -1084,6 +1211,10 @@ let perf_diff_cmd =
     Term.(ret (const run $ base_arg $ fresh_arg $ threshold_arg $ match_arg))
 
 let () =
+  (* E18 lives in sb_workload (it needs the session engine, which core
+     cannot depend on); adding it to the catalogue here makes
+     `experiment e18` / `profile e18` resolve like any core entry. *)
+  Sb_workload.E18.register ();
   let info =
     Cmd.info "simbcast" ~version:"1.0.0"
       ~doc:"Simultaneous broadcast protocols and independence definitions (PODC 2005 reproduction)"
@@ -1101,6 +1232,7 @@ let () =
             fault_sweep_cmd;
             profile_cmd;
             sessions_cmd;
+            workload_cmd;
             check_cmd;
             perf_diff_cmd;
           ]))

@@ -1243,10 +1243,24 @@ let registry =
         e17_scaling setup);
   ]
 
-let ids = List.map (fun e -> e.id) registry
+(* Extensions: layers above core in the dependency order (the workload
+   suite's E18 scheduler experiment) register additional entries at
+   front-end startup; both front ends dispatch through [catalogue], so
+   the id lists cannot drift. *)
+let extensions : entry list ref = ref []
+
+let register e =
+  if
+    List.exists (fun (x : entry) -> x.id = e.id) registry
+    || List.exists (fun (x : entry) -> x.id = e.id) !extensions
+  then invalid_arg ("Experiments.register: duplicate id " ^ e.id);
+  extensions := !extensions @ [ e ]
+
+let catalogue () = registry @ !extensions
+let ids () = List.map (fun e -> e.id) (catalogue ())
 
 let find id =
   let norm = String.lowercase_ascii (String.trim id) in
-  List.find_opt (fun e -> String.lowercase_ascii e.id = norm) registry
+  List.find_opt (fun e -> String.lowercase_ascii e.id = norm) (catalogue ())
 
-let all ?(setup = Setup.default) () = List.map (fun e -> e.run setup) registry
+let all ?(setup = Setup.default) () = List.map (fun e -> e.run setup) (catalogue ())

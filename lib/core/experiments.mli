@@ -93,13 +93,22 @@ val entry : string -> string -> (Setup.t -> outcome) -> entry
     [simbcast experiment e17 --n-max]. *)
 
 val registry : entry list
-(** Every experiment, in canonical order (E9 is the Bechamel timing
-    section of bench/main.ml, not a table). *)
+(** Every built-in experiment, in canonical order (E9 is the Bechamel
+    timing section of bench/main.ml, not a table). *)
 
-val ids : string list
+val register : entry -> unit
+(** Append an entry contributed by a layer above core (e.g. the
+    workload suite's E18 scheduler experiment, which needs
+    [sb_session]); call once at front-end startup. Raises
+    [Invalid_argument] on a duplicate id. *)
+
+val catalogue : unit -> entry list
+(** {!registry} plus everything {!register}ed, in order. *)
+
+val ids : unit -> string list
 
 val find : string -> entry option
-(** Case-insensitive lookup by id. *)
+(** Case-insensitive lookup by id, across the full {!catalogue}. *)
 
 val all : ?setup:Setup.t -> unit -> outcome list
 (** Every experiment at the given (default) setup, in order. *)

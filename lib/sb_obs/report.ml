@@ -1,4 +1,4 @@
-let schema_version = 6
+let schema_version = 7
 
 type experiment_entry = {
   id : string;
@@ -44,7 +44,7 @@ let comm_to_json () =
     ]
 
 let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings = [])
-    ?trace ?sessions ?check () =
+    ?trace ?sessions ?check ?workload () =
   Json.Obj
     ([
        ("schema_version", Json.Int schema_version);
@@ -61,6 +61,7 @@ let make ?(tool = "simbcast") ?(tag = "run") ?jobs ?(experiments = []) ?(timings
     @ (match trace with None -> [] | Some t -> [ ("trace", t) ])
     @ (match sessions with None -> [] | Some s -> [ ("sessions", s) ])
     @ (match check with None -> [] | Some c -> [ ("check", c) ])
+    @ (match workload with None -> [] | Some w -> [ ("workload", w) ])
     @ [ ("metrics", Metrics.to_json ()); ("spans", Span.to_json ()) ])
 
 let write_file path json =
@@ -201,6 +202,36 @@ let validate json =
             let* _ = require (name ^ ": ns_per_run not numeric") (Json.to_float_opt ns) in
             Ok ())
           (Ok ()) entries
+  in
+  (* Schema v7: the workload block is optional (only [simbcast
+     workload] runs carry it); when present it must carry the workload
+     name, the tier, and the integer session totals — the CI workload
+     smoke diffs this block across --jobs values, so a malformed block
+     must fail validation rather than vacuously compare. *)
+  let* () =
+    match Json.member "workload" json with
+    | None -> Ok ()
+    | Some w ->
+        let* name = require "workload missing name" (Json.member "name" w) in
+        let* _ = require "workload name not a string" (Json.to_str_opt name) in
+        let* tier = require "workload missing tier" (Json.member "tier" w) in
+        let* tier = require "workload tier not a string" (Json.to_str_opt tier) in
+        let* () =
+          if List.mem tier [ "quick"; "full" ] then Ok ()
+          else Error (Printf.sprintf "workload: bad tier %S" tier)
+        in
+        let* () =
+          List.fold_left
+            (fun acc field ->
+              let* () = acc in
+              let* v = require ("workload missing " ^ field) (Json.member field w) in
+              let* _ = require ("workload " ^ field ^ " not an int") (Json.to_int_opt v) in
+              Ok ())
+            (Ok ())
+            [ "sessions"; "consistent" ]
+        in
+        let* _ = require "workload missing summary" (Json.member "summary" w) in
+        Ok ()
   in
   Ok ()
 

@@ -28,6 +28,7 @@ val make :
   ?trace:Json.t ->
   ?sessions:Json.t ->
   ?check:Json.t ->
+  ?workload:Json.t ->
   unit ->
   Json.t
 (** Assembles the report from the given outcomes plus
@@ -62,7 +63,14 @@ val make :
     [validate] now rejects malformed entries, since the perf-diff
     guards (gtester-smoke, crypto/..., delivery/..., sessions/...)
     key on entry names and a malformed entry would silently drop out
-    of the diff. *)
+    of the diff.
+
+    Since schema v7 a workload run ([simbcast workload]) additionally
+    carries an optional ["workload"] object — workload name, tier
+    ("quick"/"full"), integer session totals and the application-level
+    scale/summary objects, normally [Sb_workload.Workload.to_json].
+    The block carries no wall-clock-derived fields, so CI can diff it
+    byte-for-byte across [--jobs] values. *)
 
 val write_file : string -> Json.t -> unit
 (** Pretty-printed, trailing newline. *)
@@ -75,9 +83,11 @@ val validate : Json.t -> (unit, string) result
     the optional [sessions] block (v4) carries its integer totals
     and numeric rates when present, the optional [check] block
     (v5) carries its integer state counts and three well-formed
-    verdict strings when present, and the optional [timings] block
+    verdict strings when present, the optional [timings] block
     (v6) is a list of well-formed [{name, ns_per_run}] entries when
-    present. Used by tests and the CI smoke step. *)
+    present, and the optional [workload] block (v7) carries its name,
+    tier, integer session totals and summary object when present.
+    Used by tests and the CI smoke step. *)
 
 type perf_delta = {
   name : string;  (** timing entry name, e.g. ["gtester-smoke/20k"] *)

@@ -1,39 +1,103 @@
-(** Sharded multi-session throughput engine.
+(** Work-stealing multi-session throughput engine.
 
     Everything else in the repository executes one protocol session
     per [Network.run] and parallelises only per-sample inside a
     tester. This engine schedules *whole sessions* — thousands of
-    independent protocol executions, possibly of different protocols —
-    across a fixed {!Sb_par.Pool} of domains, in {!Shard.width}
-    contiguous shards. Each shard builds its execution context
-    (signature registry, commitment scheme, CRS) once and reuses it
-    for every session it owns; each session draws its input and its
-    execution randomness from pre-split per-session RNG streams
-    ({!Sb_util.Rng.split_n} via {!Sb_par.Partition.streams}), so the
-    per-session reports and every deterministic aggregate are
-    byte-identical at every pool size, including 1.
+    independent protocol executions, possibly of different protocols,
+    party counts, input distributions and fault plans — across a fixed
+    {!Sb_par.Pool} of domains.
 
-    Aggregate throughput is wired through [sb_obs]: the deterministic
+    The batch is cut into contiguous shards ({!Shard.layout}); each
+    shard builds its execution context (signature registry, commitment
+    scheme, CRS) once and reuses it for every session it owns. Under
+    the default {!Steal} schedule the batch is cut into many more
+    fine-grained shards than workers and each worker loops claiming
+    shard indices from a shared atomic counter, so a heavy-tailed mix
+    (a few large-n Dolev-Strong sessions among thousands of cheap
+    Bracha votes) no longer leaves workers idle behind a straggler
+    shard; {!Static} keeps the historical coarse ≤{!Shard.width}-shard
+    layout with one queue task per shard, as the comparison baseline.
+
+    Determinism: each session draws its input and its execution
+    randomness from pre-split per-session RNG streams
+    ({!Sb_util.Rng.split_n} via {!Sb_par.Partition.streams}), the
+    shard layout is a pure function of the spec counts and schedule
+    mode, and results are merged by shard index — so the per-session
+    reports and every deterministic {!aggregate} field are
+    byte-identical at every pool size, including 1, under either
+    schedule. (The two schedules differ in shard layout, hence in
+    which context stream a session shares — session outcomes are
+    context-independent, but the [shard] field of the reports
+    differs.)
+
+    Observability is wired through [sb_obs]: the deterministic
     counters [session.sessions], [session.consistent] and the
-    per-shard [session.shard<k>.sessions], plus the wall-clock-derived
-    gauges [session.sessions_per_sec], [session.msgs_per_sec],
-    [session.bytes_per_sec] and [session.batch_wall_s] (gauges are
-    not part of the deterministic surface). Message/byte totals are
-    read as deltas of the network's [sim.*] counters and therefore
-    require metrics to be enabled; with metrics off they report 0. *)
+    per-shard [session.shard<k>.sessions]; the scheduler-race surface
+    under [sched.*] ([sched.claims], [sched.steals], per-worker
+    [sched.worker<w>.shards] / [.sessions] counters and
+    [.busy_s] gauges) which is deliberately OUTSIDE the jobs-invariant
+    prefix set CI compares; and the wall-clock-derived gauges
+    [session.sessions_per_sec], [session.msgs_per_sec],
+    [session.bytes_per_sec], [session.batch_wall_s]. Message/byte
+    totals are read as deltas of the network's [sim.*] counters and
+    therefore require metrics to be enabled; with metrics off they
+    report 0. *)
 
-type spec = { protocol : Sb_sim.Protocol.t; count : int }
-(** [count] sessions of [protocol]; must be positive. *)
+type sched = Shard.mode = Static | Steal
+
+type spec = {
+  protocol : Sb_sim.Protocol.t;
+  count : int;  (** sessions of this spec; must be positive *)
+  parties : int option;
+      (** per-spec party count override (>= 2); [None] uses the batch
+          setup's [n]. An override re-derives the threshold as
+          [(n - 1) / 2]. *)
+  dist : Sb_dist.Dist.t option;
+      (** per-spec input distribution; [None] uses the batch dist.
+          Must be over exactly the spec's party count. *)
+  faults : Sb_fault.Plan.t option;
+      (** per-spec fault plan, compiled once and injected into every
+          session of the spec ([Network.run ~faults] splits a
+          dedicated per-run fault stream internally, so faultless
+          specs are byte-identical to a run without the feature). *)
+  inputs : (int -> Sb_util.Bitvec.t) option;
+      (** explicit inputs: [f j] is the input vector of the spec's
+          [j]-th session (0-based within the spec), instead of drawing
+          from the dist (which is then ignored and not validated).
+          Must return vectors of the spec's party count. Used by the
+          workload suite to feed application data (precinct tallies,
+          bids) into sessions. *)
+}
+
+val spec :
+  ?parties:int ->
+  ?dist:Sb_dist.Dist.t ->
+  ?faults:Sb_fault.Plan.t ->
+  ?inputs:(int -> Sb_util.Bitvec.t) ->
+  Sb_sim.Protocol.t ->
+  int ->
+  spec
+(** [spec protocol count] with all overrides defaulted to [None]. *)
 
 type session_report = {
   index : int;  (** global session index, [0 .. total-1] *)
-  shard : int;  (** shard that owned this session *)
+  shard : int;  (** shard that owned this session (schedule-dependent
+                    layout, but jobs-invariant) *)
   protocol : string;
-  x : Sb_util.Bitvec.t;  (** input vector drawn from the batch dist *)
+  n : int;  (** party count of this session *)
+  x : Sb_util.Bitvec.t;  (** input vector (drawn or explicit) *)
   w : Sb_util.Bitvec.t;  (** announced vector (any honest party) *)
   consistent : bool;  (** all honest output vectors equal *)
   rounds : int;
   p2p : int;  (** point-to-point envelopes sent in this session *)
+}
+
+type worker_stat = {
+  worker : int;  (** worker slot, [0 .. pool size - 1] *)
+  shards_run : int;  (** shards this worker claimed *)
+  stolen : int;  (** claims outside the worker's contiguous home range *)
+  sessions_run : int;
+  busy_s : float;  (** wall-clock inside the claiming loop *)
 }
 
 type aggregate = {
@@ -49,10 +113,28 @@ type aggregate = {
   sessions_per_sec : float;
   msgs_per_sec : float;
   bytes_per_sec : float;
+  sched : sched;  (** schedule this batch ran under *)
+  workers : int;  (** pool size *)
+  steals : int;  (** total stolen claims; 0 under [Static] or 1 worker.
+                     Scheduling-race-dependent, like every field below —
+                     none of them enter {!aggregate_to_json}. *)
+  shard_wall_s : float array;  (** per-shard wall clock, by shard index *)
+  session_wall_s : float array;  (** per-session wall clock, by index *)
+  worker_stats : worker_stat array;  (** empty under [Static] *)
 }
+
+val bounds : spec list -> int array
+(** Cumulative spec bounds: [bounds.(k)] is the global index of spec
+    [k]'s first session; the last element is the batch total. *)
+
+val spec_at : int array -> int -> int
+(** [spec_at bounds i] maps a global session index to its spec index
+    by binary search over {!bounds}. Raises [Invalid_argument] out of
+    range. *)
 
 val run :
   ?pool:Sb_par.Pool.t ->
+  ?sched:sched ->
   ?adversary:Sb_sim.Adversary.t ->
   setup:Core.Setup.t ->
   dist:Sb_dist.Dist.t ->
@@ -60,25 +142,36 @@ val run :
   Sb_util.Rng.t ->
   aggregate * session_report array
 (** [run ~setup ~dist specs rng] executes every session of [specs]
-    (in spec order: sessions [0 .. c0-1] run the first protocol, and
-    so on), sharded across [pool] (default {!Sb_par.Pool.default}).
-    Sessions run against [adversary] (default
-    {!Core.Adversaries.passive}) on inputs drawn per-session from
-    [dist]. The report array is indexed by global session index.
+    (in spec order: sessions [0 .. c0-1] run the first spec, and so
+    on), scheduled across [pool] (default {!Sb_par.Pool.default})
+    under [sched] (default {!Steal}). Sessions run against
+    [adversary] (default {!Core.Adversaries.passive}) on inputs drawn
+    per-session from the spec's dist (default the batch [dist]) or
+    produced by the spec's explicit [inputs]. The report array is
+    indexed by global session index.
 
     Determinism: session [i]'s input and execution generators are
-    streams [2i] and [2i+1] of the master, and the shard layout is a
-    pure function of the session count, so the reports and every
-    deterministic [aggregate] field are independent of the pool size.
-    Raises [Invalid_argument] on an empty spec list or a non-positive
-    count. *)
+    streams [2i] and [2i+1] of the master, the shard layout is a pure
+    function of the spec counts and [sched], and results merge by
+    shard index — so the reports and every deterministic [aggregate]
+    field are independent of the pool size and of the claiming race.
+
+    Raises [Invalid_argument] up front on an empty spec list, a
+    non-positive count, a party override < 2, an input dist whose
+    dimension disagrees with the spec's party count, or an invalid
+    fault plan; and from a worker if explicit [inputs] return a
+    wrongly-sized vector. *)
 
 val session_report_to_json : session_report -> Sb_obs.Json.t
 (** One flat object per session — the JSONL row format of
-    [simbcast sessions --session-log]: [session], [shard],
-    [protocol], [x], [w] (bit strings), [consistent], [rounds],
+    [simbcast sessions --session-log] and
+    [simbcast workload --session-log]: [session], [shard],
+    [protocol], [n], [x], [w] (bit strings), [consistent], [rounds],
     [p2p]. Byte-identical across pool sizes. *)
 
 val aggregate_to_json : aggregate -> Sb_obs.Json.t
 (** The report's [sessions] block (schema v4): session/shard totals,
-    the comm deltas, and the throughput rates. *)
+    the comm deltas, and the throughput rates. Scheduler-race fields
+    ([steals], worker stats, per-shard walls) are deliberately
+    excluded so the block stays byte-comparable across [--jobs]
+    values (modulo the wall/rate fields CI already strips). *)

@@ -1,18 +1,58 @@
 let width = 32
+let steal_target = 8
+
+type mode = Static | Steal
 
 type t = {
   index : int;
+  spec : int;
   lo : int;
   len : int;
   rng : Sb_util.Rng.t;
 }
 
-let layout ~total ~rng =
-  let chunks = Sb_par.Partition.chunks ~total ~jobs:width in
-  let streams = Sb_util.Rng.split_n rng (Array.length chunks) in
-  Array.mapi
-    (fun k (c : Sb_par.Partition.chunk) ->
-      { index = k; lo = c.Sb_par.Partition.lo; len = c.Sb_par.Partition.len; rng = streams.(k) })
-    chunks
+(* Shards per spec. Both modes are pure functions of the per-spec
+   session counts, never of the pool size, so the layout (and with it
+   every shard-local RNG stream) is jobs-invariant. Static reproduces
+   the historical fan-out: a total budget of [width] shards spread
+   proportionally, at least one per spec, which for a single spec is
+   exactly the old [min count width]. Steal cuts much finer — about
+   [steal_target] sessions per shard, but never fewer than [width]
+   shards per spec — so a straggler spec decomposes into many small
+   units the claiming loop can spread across workers. *)
+let per_spec mode counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  match mode with
+  | Static ->
+      Array.map (fun c -> max 1 (min c (width * c / total))) counts
+  | Steal ->
+      Array.map
+        (fun c -> min c (max width ((c + steal_target - 1) / steal_target)))
+        counts
+
+let layout ~mode ~counts ~rng =
+  let shards_of = per_spec mode counts in
+  let nshards = Array.fold_left ( + ) 0 shards_of in
+  let streams = Sb_util.Rng.split_n rng nshards in
+  let out = Array.make nshards { index = 0; spec = 0; lo = 0; len = 0; rng } in
+  let k = ref 0 and base = ref 0 in
+  Array.iteri
+    (fun s count ->
+      let chunks = Sb_par.Partition.chunks ~total:count ~jobs:shards_of.(s) in
+      Array.iter
+        (fun (c : Sb_par.Partition.chunk) ->
+          out.(!k) <-
+            {
+              index = !k;
+              spec = s;
+              lo = !base + c.Sb_par.Partition.lo;
+              len = c.Sb_par.Partition.len;
+              rng = streams.(!k);
+            };
+          incr k)
+        chunks;
+      base := !base + count)
+    counts;
+  out
 
 let context setup shard = Core.Setup.fresh_ctx setup (Sb_util.Rng.split shard.rng)

@@ -1,11 +1,14 @@
-(** Fixed shard layout for the session engine.
+(** Shard layout for the session engine.
 
-    A batch of [total] protocol sessions is cut into at most {!width}
-    contiguous shards. The layout depends only on [total] — never on
-    the pool size — so shard-local state (the shared {!Sb_sim.Ctx.t},
+    A batch of sessions — grouped into contiguous per-spec ranges — is
+    cut into contiguous shards, each wholly inside one spec's range
+    (specs may differ in party count, so the shared execution context
+    is only reusable within a spec). The layout depends only on the
+    scheduling {!mode} and the per-spec session counts — never on the
+    pool size — so shard-local state (the shared {!Sb_sim.Ctx.t},
     per-shard RNG streams, per-shard counters) is identical at every
-    [--jobs] value; the pool merely decides which domain happens to
-    drive which shard.
+    [--jobs] value; the scheduler merely decides which worker happens
+    to drive which shard.
 
     Each shard owns one execution context built once from the shard's
     own RNG stream and reused by every session in the shard: the
@@ -15,23 +18,43 @@
     fixed-base exponentiation tables are module-global already). *)
 
 val width : int
-(** Maximum number of shards per batch (32) — the same fixed fan-out
-    constant the Monte-Carlo samplers use, several shards per worker
-    at every realistic pool size. *)
+(** Base shard fan-out (32) — the same fixed constant the Monte-Carlo
+    samplers use. In {!Static} mode it is the total shard budget; in
+    {!Steal} mode it is the per-spec floor. *)
+
+val steal_target : int
+(** Target sessions per shard in {!Steal} mode (8). *)
+
+type mode =
+  | Static
+      (** Historical coarse layout: a total budget of {!width} shards
+          spread across specs proportionally to their counts (at least
+          one each); for a single spec this is exactly the pre-steal
+          [min count width] layout. *)
+  | Steal
+      (** Fine-grained layout for the work-stealing claimer: each spec
+          gets about [count / steal_target] shards, floored at {!width}
+          per spec (and capped at one session per shard), so heavy
+          specs decompose into many small stealable units. *)
 
 type t = {
-  index : int;  (** shard number, [0 .. shards-1] *)
+  index : int;  (** shard number, [0 .. shards-1], global *)
+  spec : int;  (** index of the owning spec *)
   lo : int;  (** first global session index owned by this shard *)
   len : int;  (** number of sessions in this shard *)
   rng : Sb_util.Rng.t;  (** shard-local stream (context build, spares) *)
 }
 
-val layout : total:int -> rng:Sb_util.Rng.t -> t array
-(** [layout ~total ~rng] covers sessions [0 .. total-1] with at most
-    {!width} contiguous shards whose sizes differ by at most one, each
-    holding its own child stream of [rng] ([Rng.split_n], so shard
-    [k]'s stream is a pure function of [rng]'s [k]-th output). *)
+val layout : mode:mode -> counts:int array -> rng:Sb_util.Rng.t -> t array
+(** [layout ~mode ~counts ~rng] covers the batch — [counts.(s)]
+    sessions for spec [s], laid out contiguously in spec order — with
+    shards that never straddle a spec boundary; within a spec, shard
+    sizes differ by at most one. Shard [k] holds the [k]-th child
+    stream of [rng] ([Rng.split_n]), so its stream is a pure function
+    of the layout inputs. Counts must be positive (validated by
+    [Engine.run]). *)
 
 val context : Core.Setup.t -> t -> Sb_sim.Ctx.t
 (** The shard's shared execution context, drawn from the shard
-    stream. Call once per shard, inside the worker. *)
+    stream. Call once per shard, inside the worker. Pass the owning
+    spec's setup — party counts may differ across specs. *)

@@ -49,6 +49,8 @@ let test_trailing_args_rejected () =
       [ "profile"; "e1"; "junk" ];
       [ "sessions"; "bracha"; "junk" ];
       [ "sessions" ];
+      [ "workload"; "election"; "junk" ];
+      [ "workload" ];
       [ "check"; "bracha"; "junk" ];
       [ "check" ];
       [ "perf-diff"; "a.json"; "b.json"; "junk" ];
@@ -235,6 +237,7 @@ let test_sessions_jobs_invariant () =
            (fun l ->
              not
                (String.starts_with ~prefix:"throughput" l
+               || String.starts_with ~prefix:"sched" l
                || String.starts_with ~prefix:"wrote " l))
            (String.split_on_char '\n' (read_file out)))
     in
@@ -257,6 +260,64 @@ let test_sessions_jobs_invariant () =
   Alcotest.(check string) "stdout jobs-invariant" o1 o2;
   Alcotest.(check string) "session log jobs-invariant" l1 l2;
   Alcotest.(check string) "sessions block jobs-invariant" s1 s2
+
+(* --- workload -------------------------------------------------------- *)
+
+let test_workload_usage_errors () =
+  (* An unknown workload name is a usage error with exit 2, matching
+     `sessions --count` and `check` — distinct from cmdliner's 124 for
+     unparseable arguments. *)
+  Alcotest.(check int) "unknown workload exits 2" 2
+    (command [ "workload"; "no-such-workload" ])
+
+let test_workload_jobs_invariant () =
+  (* End-to-end jobs-invariance on the election workload: stdout minus
+     the wall-clock-derived throughput and scheduler-race sched lines,
+     the JSONL session log, and the report's workload block are
+     identical at jobs 1 and 2 — and the report validates at schema v7
+     with the workload block present. *)
+  let run jobs =
+    let out = temp ".workload.out" and log = temp ".workload.jsonl" in
+    let report = temp ".workload.json" in
+    Alcotest.(check int)
+      (Printf.sprintf "workload exits 0 at jobs %d" jobs)
+      0
+      (command ~out
+         [
+           "workload"; "election"; "--quick"; "--seed"; "5";
+           "--jobs"; string_of_int jobs; "--session-log"; log; "--report"; report;
+         ]);
+    let stdout_det =
+      String.concat "\n"
+        (List.filter
+           (fun l ->
+             not
+               (String.starts_with ~prefix:"throughput" l
+               || String.starts_with ~prefix:"sched" l
+               || String.starts_with ~prefix:"wrote " l))
+           (String.split_on_char '\n' (read_file out)))
+    in
+    let json = parse_file report in
+    (match Report.validate json with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "workload report invalid: %s" e);
+    let workload_block =
+      match Json.member "workload" json with
+      | Some w -> Json.to_string w
+      | None -> Alcotest.fail "report lacks a workload block"
+    in
+    Alcotest.(check (option string))
+      "workload block names the workload" (Some "election")
+      (Option.bind (Json.member "workload" json) (fun w ->
+           Option.bind (Json.member "name" w) Json.to_str_opt));
+    let log_contents = read_file log in
+    List.iter Sys.remove [ out; log; report ];
+    (stdout_det, log_contents, workload_block)
+  in
+  let o1, l1, w1 = run 1 and o2, l2, w2 = run 2 in
+  Alcotest.(check string) "stdout jobs-invariant" o1 o2;
+  Alcotest.(check string) "session log jobs-invariant" l1 l2;
+  Alcotest.(check string) "workload block jobs-invariant" w1 w2
 
 (* --- check ----------------------------------------------------------- *)
 
@@ -371,6 +432,9 @@ let () =
             test_sessions_count_validation;
           Alcotest.test_case "sessions jobs-invariant (jobs 1, 2)" `Quick
             test_sessions_jobs_invariant;
+          Alcotest.test_case "workload usage errors" `Quick test_workload_usage_errors;
+          Alcotest.test_case "workload jobs-invariant (jobs 1, 2)" `Quick
+            test_workload_jobs_invariant;
           Alcotest.test_case "check usage errors" `Quick test_check_usage_errors;
           Alcotest.test_case "check holding cell (bracha 4/1)" `Quick test_check_holding_cell;
           Alcotest.test_case "check violated cell (bracha 4/2)" `Quick

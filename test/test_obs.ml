@@ -414,7 +414,7 @@ let test_registry_covers_all_and_finds () =
       "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E10"; "E11"; "E12"; "E13"; "E14";
       "E15"; "E16"; "E17";
     ]
-    Core.Experiments.ids;
+    (Core.Experiments.ids ());
   (match Core.Experiments.find "e5" with
   | Some e -> Alcotest.(check string) "case-insensitive find" "E5" e.Core.Experiments.id
   | None -> Alcotest.fail "find e5");

@@ -1,10 +1,12 @@
-(* Tests for sb_session: the sharded whole-session scheduler.
+(* Tests for sb_session: the work-stealing whole-session scheduler.
 
    The load-bearing property is the determinism contract: per-session
    reports and every deterministic aggregate field are byte-identical
    at every pool size (the shard layout and the RNG streams are pure
-   functions of the session count and the master seed). The pool only
-   decides which domain drives which shard. *)
+   functions of the spec counts, the schedule mode and the master
+   seed). The scheduler only decides which worker drives which shard —
+   under Steal via a shared atomic claim counter, under Static via the
+   historical one-task-per-coarse-shard queue. *)
 
 open Sb_session
 
@@ -15,23 +17,39 @@ let dist = Sb_dist.Dist.uniform 5
 
 let mixed_specs =
   [
-    { Engine.protocol = substrate "concurrent-bracha"; count = 17 };
-    { Engine.protocol = substrate "concurrent-dolev-strong"; count = 11 };
-    { Engine.protocol = Sb_protocols.Commit_open.protocol; count = 7 };
+    Engine.spec (substrate "concurrent-bracha") 17;
+    Engine.spec (substrate "concurrent-dolev-strong") 11;
+    Engine.spec Sb_protocols.Commit_open.protocol 7;
   ]
 
-let run_with_jobs specs jobs =
+(* A heavy-tailed mix in the E18 sense: a few expensive large-n
+   Dolev-Strong sessions among many cheap n=5 Bracha votes, plus a
+   faulted spec exercising the per-spec fault-plan path. *)
+let heavy_specs =
+  [
+    Engine.spec ~parties:9
+      ~dist:(Sb_dist.Dist.uniform 9)
+      (substrate "concurrent-dolev-strong")
+      3;
+    Engine.spec (substrate "concurrent-bracha") 40;
+    Engine.spec
+      ~faults:[ Sb_fault.Plan.crash ~party:4 ~round:1 ]
+      (substrate "concurrent-bracha") 8;
+  ]
+
+let run_with_jobs ?sched specs jobs =
   let pool = Sb_par.Pool.create ~domains:jobs () in
   Fun.protect
     ~finally:(fun () -> Sb_par.Pool.shutdown pool)
-    (fun () -> Engine.run ~pool ~setup ~dist specs (Sb_util.Rng.create 33))
+    (fun () -> Engine.run ~pool ?sched ~setup ~dist specs (Sb_util.Rng.create 33))
 
 let report_lines reports =
   Array.to_list
     (Array.map (fun r -> Sb_obs.Json.to_string (Engine.session_report_to_json r)) reports)
 
 (* The jobs-invariant slice of the aggregate: everything except the
-   wall clock and the rates derived from it. *)
+   wall clocks, the rates derived from them, and the scheduling-race
+   fields (steals, worker stats). *)
 let deterministic_slice (a : Engine.aggregate) =
   ( (a.Engine.sessions, a.Engine.consistent, a.Engine.shards),
     Array.to_list a.Engine.per_shard,
@@ -41,19 +59,98 @@ let agg_t =
   Alcotest.(
     triple (triple int int int) (list int) (pair (pair int int) (pair int int)))
 
-let test_reports_jobs_invariant () =
-  let agg1, reports1 = run_with_jobs mixed_specs 1 in
+let check_jobs_invariant name specs =
+  let agg1, reports1 = run_with_jobs specs 1 in
   let lines1 = report_lines reports1 in
   List.iter
     (fun jobs ->
-      let agg, reports = run_with_jobs mixed_specs jobs in
+      let agg, reports = run_with_jobs specs jobs in
       Alcotest.(check (list string))
-        (Printf.sprintf "session reports at jobs=%d" jobs)
+        (Printf.sprintf "%s session reports at jobs=%d" name jobs)
         lines1 (report_lines reports);
       Alcotest.check agg_t
-        (Printf.sprintf "aggregate at jobs=%d" jobs)
+        (Printf.sprintf "%s aggregate at jobs=%d" name jobs)
         (deterministic_slice agg1) (deterministic_slice agg))
     [ 2; 4 ]
+
+let test_reports_jobs_invariant () = check_jobs_invariant "uniform" mixed_specs
+
+let test_heavy_tail_jobs_invariant () =
+  (* Mixed party counts, per-spec dist and a per-spec fault plan stay
+     byte-identical across pool sizes. *)
+  check_jobs_invariant "heavy-tailed" heavy_specs
+
+let test_static_jobs_invariant () =
+  let agg1, reports1 = run_with_jobs ~sched:Engine.Static mixed_specs 1 in
+  let agg4, reports4 = run_with_jobs ~sched:Engine.Static mixed_specs 4 in
+  Alcotest.(check (list string))
+    "static reports at jobs=4" (report_lines reports1) (report_lines reports4);
+  Alcotest.check agg_t "static aggregate at jobs=4" (deterministic_slice agg1)
+    (deterministic_slice agg4)
+
+(* Steal vs Static differ only in shard layout (hence context-stream
+   assignment and the report's shard field): every session-level
+   outcome is pinned to the static engine's output on the same seed. *)
+let outcome_slice reports =
+  Array.to_list
+    (Array.map
+       (fun (r : Engine.session_report) ->
+         ( (r.Engine.index, r.Engine.protocol, r.Engine.n),
+           ( Sb_util.Bitvec.to_string r.Engine.x,
+             Sb_util.Bitvec.to_string r.Engine.w,
+             (r.Engine.consistent, r.Engine.rounds, r.Engine.p2p) ) ))
+       reports)
+
+let outcome_t =
+  Alcotest.(
+    list
+      (pair
+         (triple int string int)
+         (triple string string (triple bool int int))))
+
+let test_steal_vs_static_differential () =
+  List.iter
+    (fun specs ->
+      let agg_steal, steal = run_with_jobs ~sched:Engine.Steal specs 2 in
+      let agg_static, static = run_with_jobs ~sched:Engine.Static specs 2 in
+      Alcotest.check outcome_t "session outcomes pinned to static engine"
+        (outcome_slice static) (outcome_slice steal);
+      Alcotest.(check int)
+        "consistent totals agree" agg_static.Engine.consistent
+        agg_steal.Engine.consistent;
+      Alcotest.(check (pair int int))
+        "comm totals agree"
+        (agg_static.Engine.broadcasts, agg_static.Engine.p2p)
+        (agg_steal.Engine.broadcasts, agg_steal.Engine.p2p))
+    [ mixed_specs; heavy_specs ]
+
+let test_steal_counters_sane () =
+  (* One worker: everything is a home claim. *)
+  let agg1, _ = run_with_jobs mixed_specs 1 in
+  Alcotest.(check int) "no steals at jobs=1" 0 agg1.Engine.steals;
+  Alcotest.(check int) "one worker stat" 1 (Array.length agg1.Engine.worker_stats);
+  let ws = agg1.Engine.worker_stats.(0) in
+  Alcotest.(check int) "sole worker claims all shards" agg1.Engine.shards
+    ws.Engine.shards_run;
+  Alcotest.(check int) "sole worker runs all sessions" agg1.Engine.sessions
+    ws.Engine.sessions_run;
+  Alcotest.(check int) "sole worker steals nothing" 0 ws.Engine.stolen;
+  (* Any pool: claims partition the shards, sessions partition the
+     batch, and the steal total matches the per-worker tallies. *)
+  let agg4, _ = run_with_jobs mixed_specs 4 in
+  Alcotest.(check int) "worker stats per slot" 4 (Array.length agg4.Engine.worker_stats);
+  let sum f = Array.fold_left (fun acc ws -> acc + f ws) 0 agg4.Engine.worker_stats in
+  Alcotest.(check int) "claims cover the shards" agg4.Engine.shards
+    (sum (fun ws -> ws.Engine.shards_run));
+  Alcotest.(check int) "sessions cover the batch" agg4.Engine.sessions
+    (sum (fun ws -> ws.Engine.sessions_run));
+  Alcotest.(check int) "steal total matches tallies" agg4.Engine.steals
+    (sum (fun ws -> ws.Engine.stolen));
+  (* Static mode reports no stealing surface at all. *)
+  let aggs, _ = run_with_jobs ~sched:Engine.Static mixed_specs 4 in
+  Alcotest.(check int) "static: no steals" 0 aggs.Engine.steals;
+  Alcotest.(check int) "static: no worker stats" 0
+    (Array.length aggs.Engine.worker_stats)
 
 let test_spec_order_and_protocols () =
   let _, reports = run_with_jobs mixed_specs 2 in
@@ -71,23 +168,87 @@ let test_spec_order_and_protocols () =
       Alcotest.(check string) "protocol by spec bounds" expected r.Engine.protocol)
     reports
 
-let test_shard_layout_fixed () =
-  (* At most Shard.width shards, contiguous, sizes differing by at
-     most one — independent of any pool. *)
-  let shards = Shard.layout ~total:100 ~rng:(Sb_util.Rng.create 1) in
+let test_spec_at_binary_search () =
+  let b = Engine.bounds mixed_specs in
+  Alcotest.(check (list int)) "cumulative bounds" [ 0; 17; 28; 35 ] (Array.to_list b);
+  List.iter
+    (fun (i, expect) ->
+      Alcotest.(check int) (Printf.sprintf "spec_at %d" i) expect (Engine.spec_at b i))
+    [ (0, 0); (16, 0); (17, 1); (27, 1); (28, 2); (34, 2) ];
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Engine.spec_at: session 35 out of range") (fun () ->
+      ignore (Engine.spec_at b 35))
+
+let test_shard_layout_static () =
+  (* Static, single spec: the historical layout — at most Shard.width
+     contiguous shards, sizes differing by at most one. *)
+  let shards =
+    Shard.layout ~mode:Shard.Static ~counts:[| 100 |] ~rng:(Sb_util.Rng.create 1)
+  in
   Alcotest.(check int) "shard count" Shard.width (Array.length shards);
   let covered = ref 0 in
   Array.iteri
     (fun k (s : Shard.t) ->
       Alcotest.(check int) "contiguous" !covered s.Shard.lo;
       Alcotest.(check int) "indexed" k s.Shard.index;
+      Alcotest.(check int) "spec 0" 0 s.Shard.spec;
       Alcotest.(check bool) "balanced" true (s.Shard.len >= 3 && s.Shard.len <= 4);
       covered := !covered + s.Shard.len)
     shards;
   Alcotest.(check int) "covers batch" 100 !covered;
   (* Small batches degenerate to one session per shard. *)
   Alcotest.(check int) "small batch" 7
-    (Array.length (Shard.layout ~total:7 ~rng:(Sb_util.Rng.create 1)))
+    (Array.length
+       (Shard.layout ~mode:Shard.Static ~counts:[| 7 |] ~rng:(Sb_util.Rng.create 1)))
+
+let test_shard_layout_steal () =
+  (* Steal cuts each spec into at least Shard.width shards (capped at
+     one session per shard) and never straddles a spec boundary. *)
+  let counts = [| 40; 40; 40 |] in
+  let shards = Shard.layout ~mode:Shard.Steal ~counts ~rng:(Sb_util.Rng.create 1) in
+  Alcotest.(check int) "three specs x 32 shards" 96 (Array.length shards);
+  let covered = ref 0 in
+  Array.iteri
+    (fun k (s : Shard.t) ->
+      Alcotest.(check int) "contiguous" !covered s.Shard.lo;
+      Alcotest.(check int) "indexed" k s.Shard.index;
+      Alcotest.(check int) "spec by thirds" (k / 32) s.Shard.spec;
+      Alcotest.(check bool) "within spec range" true
+        (s.Shard.lo >= s.Shard.spec * 40 && s.Shard.lo + s.Shard.len <= (s.Shard.spec + 1) * 40);
+      covered := !covered + s.Shard.len)
+    shards;
+  Alcotest.(check int) "covers batch" 120 !covered;
+  (* A large spec lands near the steal_target granularity. *)
+  let big = Shard.layout ~mode:Shard.Steal ~counts:[| 2048 |] ~rng:(Sb_util.Rng.create 1) in
+  Alcotest.(check int) "2048 sessions -> 256 shards" 256 (Array.length big)
+
+let test_parties_and_inputs_override () =
+  (* Per-spec party counts and explicit inputs: a 7-party spec fed
+     fixed vectors announces exactly those vectors under the passive
+     adversary. *)
+  let specs =
+    [
+      Engine.spec ~parties:7
+        ~inputs:(fun j -> Sb_util.Bitvec.of_int 7 (j * 11 mod 128))
+        (substrate "concurrent-bracha") 9;
+      Engine.spec (substrate "concurrent-bracha") 5;
+    ]
+  in
+  let agg, reports = run_with_jobs specs 2 in
+  Alcotest.(check int) "all consistent" agg.Engine.sessions agg.Engine.consistent;
+  Array.iteri
+    (fun i (r : Engine.session_report) ->
+      if i < 9 then begin
+        Alcotest.(check int) "override n" 7 r.Engine.n;
+        Alcotest.(check string) "explicit input"
+          (Sb_util.Bitvec.to_string (Sb_util.Bitvec.of_int 7 (i * 11 mod 128)))
+          (Sb_util.Bitvec.to_string r.Engine.x)
+      end
+      else Alcotest.(check int) "batch n" 5 r.Engine.n;
+      Alcotest.(check string) "announced = input"
+        (Sb_util.Bitvec.to_string r.Engine.x)
+        (Sb_util.Bitvec.to_string r.Engine.w))
+    reports
 
 let test_passive_batches_consistent () =
   (* Under the passive adversary every session announces its input
@@ -104,15 +265,35 @@ let test_passive_batches_consistent () =
 
 let test_rejects_bad_specs () =
   let rng = Sb_util.Rng.create 1 in
+  let bracha = substrate "concurrent-bracha" in
   Alcotest.check_raises "empty spec list"
     (Invalid_argument "Engine.run: empty spec list") (fun () ->
       ignore (Engine.run ~setup ~dist [] rng));
   Alcotest.check_raises "non-positive count"
-    (Invalid_argument "Engine.run: spec count must be positive") (fun () ->
+    (Invalid_argument "Engine.run: spec 0 count must be positive") (fun () ->
+      ignore (Engine.run ~setup ~dist [ Engine.spec bracha 0 ] rng));
+  (* The dist-dimension mismatch is caught up front with a clear
+     message instead of a downstream Bitvec failure. *)
+  Alcotest.check_raises "batch dist dimension mismatch"
+    (Invalid_argument
+       "Engine.run: spec 0 (concurrent-bracha) draws inputs over 6 bits but the \
+        session has n = 5 parties") (fun () ->
+      ignore
+        (Engine.run ~setup ~dist:(Sb_dist.Dist.uniform 6) [ Engine.spec bracha 4 ] rng));
+  Alcotest.check_raises "per-spec dist dimension mismatch"
+    (Invalid_argument
+       "Engine.run: spec 1 (concurrent-bracha) draws inputs over 5 bits but the \
+        session has n = 8 parties") (fun () ->
       ignore
         (Engine.run ~setup ~dist
-           [ { Engine.protocol = substrate "concurrent-bracha"; count = 0 } ]
-           rng))
+           [
+             Engine.spec bracha 4;
+             Engine.spec ~parties:8 ~dist:(Sb_dist.Dist.uniform 5) bracha 2;
+           ]
+           rng));
+  Alcotest.check_raises "parties below 2"
+    (Invalid_argument "Engine.run: spec 0 parties must be >= 2 (got 1)") (fun () ->
+      ignore (Engine.run ~setup ~dist [ Engine.spec ~parties:1 bracha 2 ] rng))
 
 let () =
   Alcotest.run "sb_session"
@@ -121,12 +302,26 @@ let () =
         [
           Alcotest.test_case "reports and aggregate jobs-invariant" `Quick
             test_reports_jobs_invariant;
+          Alcotest.test_case "heavy-tailed mix jobs-invariant" `Quick
+            test_heavy_tail_jobs_invariant;
+          Alcotest.test_case "static schedule jobs-invariant" `Quick
+            test_static_jobs_invariant;
+          Alcotest.test_case "steal pinned to static outcomes" `Quick
+            test_steal_vs_static_differential;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "steal counters sane" `Quick test_steal_counters_sane;
+          Alcotest.test_case "spec_at binary search" `Quick test_spec_at_binary_search;
+          Alcotest.test_case "static shard layout" `Quick test_shard_layout_static;
+          Alcotest.test_case "steal shard layout" `Quick test_shard_layout_steal;
         ] );
       ( "engine",
         [
           Alcotest.test_case "spec order and protocol bounds" `Quick
             test_spec_order_and_protocols;
-          Alcotest.test_case "shard layout fixed" `Quick test_shard_layout_fixed;
+          Alcotest.test_case "parties and inputs overrides" `Quick
+            test_parties_and_inputs_override;
           Alcotest.test_case "passive batches consistent" `Quick
             test_passive_batches_consistent;
           Alcotest.test_case "rejects bad specs" `Quick test_rejects_bad_specs;
